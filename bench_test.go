@@ -1,0 +1,303 @@
+package clocksched
+
+// One benchmark per table and figure of the paper's evaluation — each
+// regenerates the corresponding result from scratch — plus ablation and
+// machinery benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark*/b.N loops re-run the full deterministic simulation, so
+// ns/op reports how long one complete reproduction takes.
+
+import (
+	"testing"
+	"time"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/expt"
+	"clocksched/internal/policy"
+	"clocksched/internal/sim"
+)
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range expt.FigureWorkloads {
+			if _, err := expt.Figure3(w, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range expt.FigureWorkloads {
+			if _, err := expt.Figure4(w, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := expt.Figure5()
+		if len(res.GoingIdle) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := expt.Table1()
+		if rows[6].Weighted != 5217 {
+			b.Fatal("Table 1 mismatch")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure6(9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Figure8(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure9(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("Table 2 mismatch")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := expt.Table3()
+		if rows[10].MemCycles != 20 {
+			b.Fatal("Table 3 mismatch")
+		}
+	}
+}
+
+func BenchmarkBatteryLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.BatteryLifetime(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitionCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.TransitionCost(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.SchedulerOverhead(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeadlineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.DeadlineComparison(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMartinOptimum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.MartinOptimum(2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeringTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.PeringTradeoff(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaybackLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.PlaybackLifetime(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThresholdSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ThresholdSensitivity(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeiserOnWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.WeiserOnWorkloads(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdealDVSComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.IdealDVSComparison(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationSpeedSetters compares the three speed setters under the
+// PAST predictor on MPEG — the paper's observation that most policy
+// combinations behave equivalently (and poorly).
+func BenchmarkAblationSpeedSetters(b *testing.B) {
+	for _, setter := range []SpeedSetter{One, Double, Peg} {
+		b.Run(string(setter), func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Workload: MPEG,
+					Policy:   PeringAvgN(0, setter, setter),
+					Duration: 10 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				energy = res.EnergyJoules
+			}
+			b.ReportMetric(energy, "joules")
+		})
+	}
+}
+
+// BenchmarkAblationAvgN sweeps the predictor decay, reporting the lag-driven
+// energy/stability tradeoff.
+func BenchmarkAblationAvgN(b *testing.B) {
+	for _, n := range []int{0, 3, 9} {
+		b.Run(policy.NewAvgN(n).Name(), func(b *testing.B) {
+			var changes int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Workload: MPEG,
+					Policy:   PeringAvgN(n, Peg, Peg),
+					Duration: 10 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				changes = res.ClockChanges
+			}
+			b.ReportMetric(float64(changes), "clock-changes")
+		})
+	}
+}
+
+// BenchmarkAblationOfflineBaselines times the Weiser trace algorithms on a
+// long synthetic trace.
+func BenchmarkAblationOfflineBaselines(b *testing.B) {
+	rng := sim.NewRNG(1)
+	util := make([]float64, 100_000)
+	for i := range util {
+		util[i] = rng.Float64()
+	}
+	b.Run("OPT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := policy.OptSpeeds(util, 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FUTURE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := policy.FutureSpeeds(util, 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PAST", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := policy.PastSpeeds(util, 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- machinery benchmarks ---
+
+// BenchmarkSimulatedSecond measures raw simulation throughput: one second
+// of MPEG-on-Itsy virtual time per iteration.
+func BenchmarkSimulatedSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Workload: MPEG, Duration: time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGovernorDecide measures the per-quantum cost of the policy
+// module itself — what the real kernel would pay every 10 ms.
+func BenchmarkGovernorDecide(b *testing.B) {
+	gov := policy.MustGovernor(policy.NewAvgN(9), policy.One{}, policy.One{},
+		policy.PeringBounds, false)
+	cur := cpu.Step(5)
+	for i := 0; i < b.N; i++ {
+		d := gov.Decide(i%10001, cur)
+		cur = d.Step
+	}
+}
+
+// BenchmarkBurstDuration measures the cycle-accounting hot path.
+func BenchmarkBurstDuration(b *testing.B) {
+	burst := cpu.Burst{Core: 4_000_000, Mem: 143_000, Cache: 40_000}
+	var total sim.Duration
+	for i := 0; i < b.N; i++ {
+		total += burst.Duration(cpu.Step(i % cpu.NumSteps))
+	}
+	_ = total
+}

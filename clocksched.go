@@ -1,0 +1,345 @@
+// Package clocksched reproduces "Policies for Dynamic Clock Scheduling"
+// (Grunwald, Morrey, Levis, Neufeld, Farkas — OSDI 2000) as a library: a
+// deterministic simulation of the Itsy pocket computer (StrongARM SA-1100,
+// eleven clock steps, two core voltages), a Linux-2.0.30-style kernel with
+// per-quantum utilization accounting, the paper's interval clock-scheduling
+// policies (PAST, AVG_N with one/double/peg speed setting and hysteresis
+// bounds), its four benchmark workloads, and the DAQ-based energy
+// measurement methodology.
+//
+// The top-level API runs one measurement: a workload under a policy,
+// returning energy, deadline behaviour, and stability metrics. The
+// simulation is virtual-time and bit-for-bit repeatable from its seed.
+//
+//	res, err := clocksched.Run(clocksched.Config{
+//	    Workload: clocksched.MPEG,
+//	    Policy:   clocksched.PASTPegPeg(),
+//	})
+//
+// Lower layers (the experiment harness regenerating every table and figure
+// of the paper, the signal-processing analysis of AVG_N, the battery
+// models) live in internal packages and are exercised by cmd/experiments
+// and the examples.
+package clocksched
+
+import (
+	"fmt"
+	"time"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/expt"
+	"clocksched/internal/policy"
+	"clocksched/internal/sim"
+)
+
+// Workload names one of the paper's benchmark applications.
+type Workload string
+
+// The available workloads. RectWave is the idealized 9-busy/1-idle quantum
+// pattern of the paper's Section 5.3 analysis.
+const (
+	MPEG          Workload = "mpeg"
+	Web           Workload = "web"
+	Chess         Workload = "chess"
+	TalkingEditor Workload = "editor"
+	RectWave      Workload = "rect"
+)
+
+// Workloads lists every available workload.
+func Workloads() []Workload {
+	return []Workload{MPEG, Web, Chess, TalkingEditor, RectWave}
+}
+
+// SpeedSetter names a scaling amount policy: how far to move the clock once
+// the decision to scale has been made.
+type SpeedSetter string
+
+// The paper's three speed setters.
+const (
+	One    SpeedSetter = "one"    // move one clock step
+	Double SpeedSetter = "double" // double or halve the step index
+	Peg    SpeedSetter = "peg"    // jump to the extreme step
+)
+
+// Policy specifies a clock scheduling policy.
+type Policy struct {
+	// Constant, when true, fixes the clock at MHz/LowVoltage and
+	// disables interval scheduling (the paper's baseline rows).
+	Constant bool
+	// MHz is the constant clock frequency; the nearest of the SA-1100's
+	// eleven steps is used. Ignored for interval policies.
+	MHz float64
+	// LowVoltage runs the core at 1.23 V instead of 1.5 V (constant
+	// policies only; it must be safe at the chosen step, i.e. below
+	// 162.2 MHz).
+	LowVoltage bool
+
+	// AvgN is the predictor decay: 0 is PAST, N > 0 is AVG_N.
+	AvgN int
+	// Up and Down are the speed setters for the two directions.
+	Up, Down SpeedSetter
+	// LoPercent and HiPercent are the hysteresis bounds: scale down
+	// below Lo% weighted utilization, up above Hi%.
+	LoPercent, HiPercent int
+	// VoltageScale drops the core to 1.23 V whenever the clock is below
+	// 162.2 MHz.
+	VoltageScale bool
+
+	// Deadline selects the application-informed deadline scheduler (the
+	// paper's future-work direction) instead of an interval heuristic;
+	// only MPEG currently advertises deadlines. AvgN/Up/Down/bounds are
+	// ignored.
+	Deadline bool
+
+	// Proportional selects the ondemand-style proportional governor:
+	// the AvgN predictor's estimate sets the speed directly against
+	// TargetPercent headroom. Up/Down/bounds are ignored.
+	Proportional  bool
+	TargetPercent int
+}
+
+// ConstantPolicy returns the baseline policy: a fixed clock and voltage.
+func ConstantPolicy(mhz float64, lowVoltage bool) Policy {
+	return Policy{Constant: true, MHz: mhz, LowVoltage: lowVoltage}
+}
+
+// PASTPegPeg returns the best policy the paper found: PAST prediction,
+// peg-peg speed setting, scale up above 98% and down below 93%.
+func PASTPegPeg() Policy {
+	return Policy{AvgN: 0, Up: Peg, Down: Peg, LoPercent: 93, HiPercent: 98}
+}
+
+// PeringAvgN returns the AVG_N policy with Pering et al.'s 50%/70% bounds
+// and the given speed setters.
+func PeringAvgN(n int, up, down SpeedSetter) Policy {
+	return Policy{AvgN: n, Up: up, Down: down, LoPercent: 50, HiPercent: 70}
+}
+
+// DeadlinePolicy returns the application-informed deadline scheduler of the
+// paper's future-work section.
+func DeadlinePolicy(voltageScale bool) Policy {
+	return Policy{Deadline: true, VoltageScale: voltageScale}
+}
+
+// ProportionalPolicy returns the ondemand-ancestor proportional governor:
+// PAST-class prediction (AVG_N) scaled directly into a step against the
+// target utilization.
+func ProportionalPolicy(n, targetPercent int) Policy {
+	return Policy{Proportional: true, AvgN: n, TargetPercent: targetPercent}
+}
+
+// Name describes the policy in the paper's style.
+func (p Policy) Name() string {
+	if p.Constant {
+		v := "1.5V"
+		if p.LowVoltage {
+			v = "1.23V"
+		}
+		return fmt.Sprintf("Constant @ %.1fMHz, %s", p.MHz, v)
+	}
+	pred := "PAST"
+	if p.AvgN > 0 {
+		pred = fmt.Sprintf("AVG_%d", p.AvgN)
+	}
+	vs := ""
+	if p.VoltageScale {
+		vs = ", voltage scaling"
+	}
+	if p.Deadline {
+		return "DEADLINE" + vs
+	}
+	if p.Proportional {
+		return fmt.Sprintf("PROPORTIONAL(%s, %d%%)%s", pred, p.TargetPercent, vs)
+	}
+	return fmt.Sprintf("%s, %s-%s, %d%%-%d%%%s", pred, p.Up, p.Down, p.LoPercent, p.HiPercent, vs)
+}
+
+// build converts the spec into a kernel policy and boot settings.
+func (p Policy) build() (spec expt.RunSpec, err error) {
+	if p.Constant {
+		step := cpu.NearestStep(int64(p.MHz * 1000))
+		v := cpu.VHigh
+		if p.LowVoltage {
+			v = cpu.VLow
+			if !cpu.VoltageOK(step, v) {
+				return spec, fmt.Errorf("clocksched: 1.23V is unsafe at %s", step)
+			}
+		}
+		spec.InitialStep = step
+		spec.InitialV = v
+		return spec, nil
+	}
+	if p.Deadline {
+		d := policy.NewDeadlineScheduler()
+		d.VoltageScale = p.VoltageScale
+		spec.Policy = d
+		spec.InitialStep = cpu.MaxStep
+		spec.InitialV = cpu.VHigh
+		return spec, nil
+	}
+	if p.AvgN < 0 {
+		return spec, fmt.Errorf("clocksched: negative AVG_N %d", p.AvgN)
+	}
+	if p.Proportional {
+		prop, err := policy.NewProportional(policy.NewAvgN(p.AvgN),
+			p.TargetPercent*100, p.VoltageScale)
+		if err != nil {
+			return spec, err
+		}
+		spec.Policy = prop
+		spec.InitialStep = cpu.MaxStep
+		spec.InitialV = cpu.VHigh
+		return spec, nil
+	}
+	up, ok := policy.SetterByName(string(p.Up))
+	if !ok {
+		return spec, fmt.Errorf("clocksched: unknown up setter %q", p.Up)
+	}
+	down, ok := policy.SetterByName(string(p.Down))
+	if !ok {
+		return spec, fmt.Errorf("clocksched: unknown down setter %q", p.Down)
+	}
+	gov, err := policy.NewGovernor(policy.NewAvgN(p.AvgN), up, down,
+		policy.Bounds{Lo: p.LoPercent * 100, Hi: p.HiPercent * 100}, p.VoltageScale)
+	if err != nil {
+		return spec, err
+	}
+	spec.Policy = gov
+	spec.InitialStep = cpu.MaxStep
+	spec.InitialV = cpu.VHigh
+	return spec, nil
+}
+
+// Config describes one measurement run.
+type Config struct {
+	// Workload selects the benchmark; the zero value is MPEG.
+	Workload Workload
+	// Policy is the clock scheduling policy; the zero value is constant
+	// full speed at 1.5 V.
+	Policy Policy
+	// Seed drives workload jitter; runs with equal seeds are identical.
+	Seed uint64
+	// Duration bounds the run; zero uses the workload's natural session
+	// length (60 s MPEG, 190 s Web, 218 s Chess, 70 s TalkingEditor).
+	Duration time.Duration
+	// DeadlineSlack is the perceptual slack when counting missed
+	// deadlines; zero selects 33 ms (half an MPEG frame).
+	DeadlineSlack time.Duration
+}
+
+// UtilPoint is one scheduling quantum of the run's utilization trace.
+type UtilPoint struct {
+	At          time.Duration
+	Utilization float64 // busy fraction of the quantum, 0..1
+	MHz         float64 // clock during the quantum
+}
+
+// Result reports everything one measurement run produced.
+type Result struct {
+	// EnergyJoules is the DAQ-integrated whole-system energy.
+	EnergyJoules float64
+	// AvgPowerWatts is the mean sampled power.
+	AvgPowerWatts float64
+	// PeakPowerWatts is the largest sampled power.
+	PeakPowerWatts float64
+	// MeanUtilization is the average per-quantum busy fraction.
+	MeanUtilization float64
+
+	// Deadlines counts application timing obligations; Misses counts
+	// those late beyond the configured slack, and MaxLateness is the
+	// worst case.
+	Deadlines   int
+	Misses      int
+	MaxLateness time.Duration
+
+	// ClockChanges and VoltageChanges count the policy's scaling
+	// actions; StallTime is the total execution time lost to PLL
+	// relocks.
+	ClockChanges   int
+	VoltageChanges int
+	StallTime      time.Duration
+
+	// ContextSwitches counts scheduling decisions that changed the
+	// running process; IdleShare is the fraction of scheduling decisions
+	// that picked the idle process.
+	ContextSwitches int
+	IdleShare       float64
+
+	// TimeAtMHz is the residency: how long the clock sat at each step.
+	TimeAtMHz map[float64]time.Duration
+
+	// Trace is the per-quantum utilization and frequency timeline.
+	Trace []UtilPoint
+}
+
+// Run executes one measurement run.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workload == "" {
+		cfg.Workload = MPEG
+	}
+	if cfg.Policy == (Policy{}) {
+		cfg.Policy = ConstantPolicy(206.4, false)
+	}
+	spec, err := cfg.Policy.build()
+	if err != nil {
+		return nil, err
+	}
+	spec.Workload = string(cfg.Workload)
+	spec.Seed = cfg.Seed
+	if cfg.Duration < 0 {
+		return nil, fmt.Errorf("clocksched: negative duration %v", cfg.Duration)
+	}
+	spec.Duration = sim.Duration(cfg.Duration / time.Microsecond)
+	slack := cfg.DeadlineSlack
+	if slack == 0 {
+		slack = 33 * time.Millisecond
+	}
+
+	out, err := expt.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	col := out.Workload.Metrics()
+	res := &Result{
+		EnergyJoules:    out.EnergyJ,
+		AvgPowerWatts:   out.AvgPowerW,
+		PeakPowerWatts:  out.Capture.PeakPower(),
+		MeanUtilization: out.MeanUtil,
+		Deadlines:       col.Count(),
+		Misses:          col.MissCount(sim.Duration(slack / time.Microsecond)),
+		MaxLateness:     col.MaxLateness().Std(),
+		ClockChanges:    out.Kernel.SpeedChanges(),
+		VoltageChanges:  out.Kernel.VoltageChanges(),
+		StallTime:       out.Kernel.StallTime().Std(),
+		TimeAtMHz:       map[float64]time.Duration{},
+	}
+	logStats := out.Kernel.AnalyzeLog()
+	res.ContextSwitches = logStats.Switches
+	if logStats.Decisions > 0 {
+		res.IdleShare = float64(logStats.IdleDecisions) / float64(logStats.Decisions)
+	}
+	for s, d := range out.Kernel.Residency() {
+		if d > 0 {
+			res.TimeAtMHz[cpu.Step(s).MHz()] = d.Std()
+		}
+	}
+	for _, u := range out.Kernel.UtilLog() {
+		res.Trace = append(res.Trace, UtilPoint{
+			At:          u.At.Std(),
+			Utilization: float64(u.PP10K) / 10000,
+			MHz:         u.StepAt.MHz(),
+		})
+	}
+	return res, nil
+}
+
+// ClockStepsMHz returns the SA-1100's eleven clock steps in MHz, slowest
+// first.
+func ClockStepsMHz() []float64 {
+	out := make([]float64, 0, cpu.NumSteps)
+	for s := cpu.MinStep; s <= cpu.MaxStep; s++ {
+		out = append(out, s.MHz())
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package clocksched
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJoules <= 0 {
+		t.Errorf("energy = %v", res.EnergyJoules)
+	}
+	if res.Misses != 0 {
+		t.Errorf("default MPEG at full speed missed %d deadlines", res.Misses)
+	}
+	if res.ClockChanges != 0 {
+		t.Errorf("constant policy changed the clock %d times", res.ClockChanges)
+	}
+	if len(res.Trace) != 500 {
+		t.Errorf("trace has %d quanta, want 500", len(res.Trace))
+	}
+	if res.TimeAtMHz[206.4] != 5*time.Second {
+		t.Errorf("residency = %v", res.TimeAtMHz)
+	}
+}
+
+func TestRunBestPolicy(t *testing.T) {
+	res, err := Run(Config{
+		Workload: MPEG,
+		Policy:   PASTPegPeg(),
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("best policy missed %d deadlines", res.Misses)
+	}
+	if res.ClockChanges < 20 {
+		t.Errorf("best policy made only %d clock changes", res.ClockChanges)
+	}
+	if res.TimeAtMHz[59.0] == 0 || res.TimeAtMHz[206.4] == 0 {
+		t.Errorf("peg-peg residency missing extremes: %v", res.TimeAtMHz)
+	}
+	if res.StallTime == 0 {
+		t.Error("clock changes incurred no stall time")
+	}
+}
+
+func TestRunSavesEnergyAtLowerConstantSpeed(t *testing.T) {
+	at := func(mhz float64, lowV bool) float64 {
+		res, err := Run(Config{
+			Workload: MPEG,
+			Policy:   ConstantPolicy(mhz, lowV),
+			Duration: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("missed %d deadlines at %v MHz", res.Misses, mhz)
+		}
+		return res.EnergyJoules
+	}
+	full := at(206.4, false)
+	sweet := at(132.7, false)
+	lowV := at(132.7, true)
+	if !(lowV < sweet && sweet < full) {
+		t.Errorf("energy ordering violated: %v, %v, %v", full, sweet, lowV)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Workload: MPEG, Policy: PASTPegPeg(), Seed: 7, Duration: 5 * time.Second}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyJoules != b.EnergyJoules || a.ClockChanges != b.ClockChanges {
+		t.Errorf("same-seed runs differ: %v/%d vs %v/%d",
+			a.EnergyJoules, a.ClockChanges, b.EnergyJoules, b.ClockChanges)
+	}
+}
+
+func TestRunSeedsVary(t *testing.T) {
+	energy := func(seed uint64) float64 {
+		res, err := Run(Config{Workload: MPEG, Seed: seed, Duration: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.EnergyJoules
+	}
+	if energy(1) == energy(2) {
+		t.Error("different seeds produced identical energy; jitter missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Workload: "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Run(Config{Duration: -time.Second}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := Run(Config{Policy: ConstantPolicy(206.4, true)}); err == nil {
+		t.Error("1.23V at 206.4MHz accepted")
+	}
+	if _, err := Run(Config{Policy: Policy{AvgN: -1, Up: Peg, Down: Peg, LoPercent: 50, HiPercent: 70}}); err == nil {
+		t.Error("negative AVG_N accepted")
+	}
+	if _, err := Run(Config{Policy: Policy{Up: "warp", Down: Peg, LoPercent: 50, HiPercent: 70}}); err == nil {
+		t.Error("unknown up setter accepted")
+	}
+	if _, err := Run(Config{Policy: Policy{Up: Peg, Down: "warp", LoPercent: 50, HiPercent: 70}}); err == nil {
+		t.Error("unknown down setter accepted")
+	}
+	if _, err := Run(Config{Policy: Policy{Up: Peg, Down: Peg, LoPercent: 90, HiPercent: 20}}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]Policy{
+		"Constant @ 206.4MHz, 1.5V":  ConstantPolicy(206.4, false),
+		"Constant @ 132.7MHz, 1.23V": ConstantPolicy(132.7, true),
+		"PAST, peg-peg, 93%-98%":     PASTPegPeg(),
+		"AVG_9, one-double, 50%-70%": PeringAvgN(9, One, Double),
+	}
+	for want, p := range cases {
+		if got := p.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+	vs := PASTPegPeg()
+	vs.VoltageScale = true
+	if !strings.Contains(vs.Name(), "voltage scaling") {
+		t.Errorf("Name = %q", vs.Name())
+	}
+}
+
+func TestClockStepsMHz(t *testing.T) {
+	steps := ClockStepsMHz()
+	if len(steps) != 11 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	if steps[0] != 59.0 || steps[10] != 206.4 {
+		t.Errorf("steps = %v", steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Error("steps not increasing")
+		}
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 5 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	for _, w := range ws {
+		res, err := Run(Config{Workload: w, Duration: 2 * time.Second})
+		if err != nil {
+			t.Errorf("%s: %v", w, err)
+			continue
+		}
+		if res.EnergyJoules <= 0 {
+			t.Errorf("%s produced no energy", w)
+		}
+	}
+}
+
+func TestResultConsistency(t *testing.T) {
+	res, err := Run(Config{Workload: RectWave, Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy ≈ power × time.
+	if rel := math.Abs(res.EnergyJoules-res.AvgPowerWatts*10) / res.EnergyJoules; rel > 0.001 {
+		t.Errorf("energy/power mismatch: %v", rel)
+	}
+	if res.PeakPowerWatts < res.AvgPowerWatts {
+		t.Error("peak below average")
+	}
+	// Residency sums to the run length.
+	var total time.Duration
+	for _, d := range res.TimeAtMHz {
+		total += d
+	}
+	if total != 10*time.Second {
+		t.Errorf("residency sums to %v", total)
+	}
+}
+
+func TestRunDeadlinePolicy(t *testing.T) {
+	res, err := Run(Config{
+		Workload: MPEG,
+		Policy:   DeadlinePolicy(true),
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("deadline policy missed %d deadlines", res.Misses)
+	}
+	// The scheduler settles near the clip's ideal step, not the extremes.
+	var modalMHz float64
+	var modalTime time.Duration
+	for mhz, d := range res.TimeAtMHz {
+		if d > modalTime {
+			modalTime, modalMHz = d, mhz
+		}
+	}
+	if modalMHz < 118 || modalMHz > 162.2 {
+		t.Errorf("modal clock %.1f MHz, want near 132.7", modalMHz)
+	}
+	if res.VoltageChanges == 0 {
+		t.Error("voltage scaling never engaged")
+	}
+	if DeadlinePolicy(true).Name() != "DEADLINE, voltage scaling" {
+		t.Errorf("Name = %q", DeadlinePolicy(true).Name())
+	}
+}
+
+func TestRunProportionalPolicy(t *testing.T) {
+	res, err := Run(Config{
+		Workload: MPEG,
+		Policy:   ProportionalPolicy(0, 70),
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClockChanges == 0 {
+		t.Error("proportional governor never moved")
+	}
+	if got := ProportionalPolicy(3, 70).Name(); got != "PROPORTIONAL(AVG_3, 70%)" {
+		t.Errorf("Name = %q", got)
+	}
+	if _, err := Run(Config{Policy: ProportionalPolicy(0, 0)}); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := Run(Config{Policy: Policy{Proportional: true, AvgN: -1, TargetPercent: 70}}); err == nil {
+		t.Error("negative AvgN accepted")
+	}
+}

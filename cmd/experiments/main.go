@@ -1,0 +1,82 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation — plus the extension experiments — from the simulation,
+// printing each summary to stdout and writing the raw artifacts under -out.
+//
+// Usage:
+//
+//	experiments            # everything, results into ./results
+//	experiments -only table2
+//	experiments -list
+//	experiments -out /tmp/repro -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clocksched/internal/expt"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "results", "directory for raw artifact files")
+		only   = flag.String("only", "", "run only the named experiment (see -list)")
+		list   = flag.Bool("list", false, "list the available experiments and exit")
+		seed   = flag.Uint64("seed", 1, "workload jitter seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.Registry() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	experiments := expt.Registry()
+	if *only != "" {
+		e, ok := expt.Find(strings.ToLower(*only))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *only)
+			os.Exit(2)
+		}
+		experiments = []expt.Experiment{e}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	var written []string
+	for _, e := range experiments {
+		fmt.Printf("==> %s — %s\n", e.Name, e.Paper)
+		summary, artifacts, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Print(summary)
+		for _, a := range artifacts {
+			if err := os.WriteFile(filepath.Join(*outDir, a.Name), []byte(a.Content), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			written = append(written, a.Name)
+		}
+		fmt.Println()
+	}
+
+	// Leave a browsable index behind when running the full suite.
+	if *only == "" && len(written) > 0 {
+		index := expt.IndexHTML(written)
+		if err := os.WriteFile(filepath.Join(*outDir, "index.html"), []byte(index), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("index written to %s\n", filepath.Join(*outDir, "index.html"))
+	}
+}

@@ -1,0 +1,182 @@
+// Command itsysim runs one workload on the simulated Itsy under one clock
+// scheduling policy and prints a measurement report: energy, deadline
+// behaviour, clock-setting stability, and residency.
+//
+// Usage:
+//
+//	itsysim -workload mpeg -policy past-peg-peg:93:98 -duration 60s
+//	itsysim -workload editor -policy constant:132.7
+//	itsysim -workload chess -policy avg9-one-one:50:70 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"clocksched"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "mpeg", "workload: mpeg, web, chess, editor, rect")
+		policySpec   = flag.String("policy", "constant:206.4",
+			"policy: constant:<MHz>[:lowv] or <pred>-<up>-<down>:<lo>:<hi>[:vs] "+
+				"where pred is past or avgN, setters are one/double/peg")
+		seed     = flag.Uint64("seed", 1, "workload jitter seed")
+		duration = flag.Duration("duration", 0, "run length (0 = workload's natural length)")
+		trace    = flag.Bool("trace", false, "dump the per-quantum utilization/frequency trace")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policySpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itsysim:", err)
+		os.Exit(2)
+	}
+	res, err := clocksched.Run(clocksched.Config{
+		Workload: clocksched.Workload(*workloadName),
+		Policy:   pol,
+		Seed:     *seed,
+		Duration: *duration,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itsysim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:        %s (seed %d)\n", *workloadName, *seed)
+	fmt.Printf("policy:          %s\n", pol.Name())
+	fmt.Printf("energy:          %.2f J\n", res.EnergyJoules)
+	fmt.Printf("average power:   %.3f W (peak %.3f W)\n", res.AvgPowerWatts, res.PeakPowerWatts)
+	fmt.Printf("utilization:     %.1f%%\n", res.MeanUtilization*100)
+	fmt.Printf("deadlines:       %d, missed %d (max lateness %v)\n",
+		res.Deadlines, res.Misses, res.MaxLateness)
+	fmt.Printf("clock changes:   %d (stall %v), voltage changes: %d\n",
+		res.ClockChanges, res.StallTime, res.VoltageChanges)
+
+	fmt.Println("residency:")
+	mhzs := make([]float64, 0, len(res.TimeAtMHz))
+	for mhz := range res.TimeAtMHz {
+		mhzs = append(mhzs, mhz)
+	}
+	sort.Float64s(mhzs)
+	for _, mhz := range mhzs {
+		fmt.Printf("  %6.1f MHz  %v\n", mhz, res.TimeAtMHz[mhz].Round(time.Millisecond))
+	}
+
+	if *trace {
+		fmt.Println("trace (time, utilization, MHz):")
+		for _, p := range res.Trace {
+			fmt.Printf("%v\t%.4f\t%.1f\n", p.At, p.Utilization, p.MHz)
+		}
+	}
+}
+
+// parsePolicy understands "constant:<MHz>[:lowv]",
+// "<pred>-<up>-<down>:<lo>:<hi>[:vs]", "deadline[:vs]", and
+// "prop-<pred>:<target>[:vs]".
+func parsePolicy(spec string) (clocksched.Policy, error) {
+	parts := strings.Split(spec, ":")
+	if parts[0] == "deadline" {
+		switch {
+		case len(parts) == 1:
+			return clocksched.DeadlinePolicy(false), nil
+		case len(parts) == 2 && parts[1] == "vs":
+			return clocksched.DeadlinePolicy(true), nil
+		default:
+			return clocksched.Policy{}, fmt.Errorf("deadline policy wants deadline[:vs], got %q", spec)
+		}
+	}
+	if strings.HasPrefix(parts[0], "prop-") {
+		if len(parts) < 2 || len(parts) > 3 {
+			return clocksched.Policy{}, fmt.Errorf("proportional policy wants prop-<pred>:<target>[:vs], got %q", spec)
+		}
+		n, err := parsePredictor(strings.TrimPrefix(parts[0], "prop-"))
+		if err != nil {
+			return clocksched.Policy{}, err
+		}
+		target, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return clocksched.Policy{}, fmt.Errorf("bad target %q", parts[1])
+		}
+		p := clocksched.ProportionalPolicy(n, target)
+		if len(parts) == 3 {
+			if parts[2] != "vs" {
+				return clocksched.Policy{}, fmt.Errorf("unknown option %q", parts[2])
+			}
+			p.VoltageScale = true
+		}
+		return p, nil
+	}
+	if parts[0] == "constant" {
+		if len(parts) < 2 || len(parts) > 3 {
+			return clocksched.Policy{}, fmt.Errorf("constant policy wants constant:<MHz>[:lowv], got %q", spec)
+		}
+		mhz, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return clocksched.Policy{}, fmt.Errorf("bad frequency %q: %v", parts[1], err)
+		}
+		lowV := false
+		if len(parts) == 3 {
+			if parts[2] != "lowv" {
+				return clocksched.Policy{}, fmt.Errorf("unknown constant option %q", parts[2])
+			}
+			lowV = true
+		}
+		return clocksched.ConstantPolicy(mhz, lowV), nil
+	}
+
+	if len(parts) < 3 || len(parts) > 4 {
+		return clocksched.Policy{}, fmt.Errorf("interval policy wants <pred>-<up>-<down>:<lo>:<hi>[:vs], got %q", spec)
+	}
+	names := strings.Split(parts[0], "-")
+	if len(names) != 3 {
+		return clocksched.Policy{}, fmt.Errorf("want <pred>-<up>-<down>, got %q", parts[0])
+	}
+	n, err := parsePredictor(names[0])
+	if err != nil {
+		return clocksched.Policy{}, err
+	}
+	lo, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return clocksched.Policy{}, fmt.Errorf("bad lower bound %q", parts[1])
+	}
+	hi, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return clocksched.Policy{}, fmt.Errorf("bad upper bound %q", parts[2])
+	}
+	vs := false
+	if len(parts) == 4 {
+		if parts[3] != "vs" {
+			return clocksched.Policy{}, fmt.Errorf("unknown option %q", parts[3])
+		}
+		vs = true
+	}
+	return clocksched.Policy{
+		AvgN: n,
+		Up:   clocksched.SpeedSetter(names[1]), Down: clocksched.SpeedSetter(names[2]),
+		LoPercent: lo, HiPercent: hi,
+		VoltageScale: vs,
+	}, nil
+}
+
+// parsePredictor maps "past" or "avgN" onto the AVG_N decay parameter.
+func parsePredictor(name string) (int, error) {
+	switch {
+	case name == "past":
+		return 0, nil
+	case strings.HasPrefix(name, "avg"):
+		v, err := strconv.Atoi(name[3:])
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad predictor %q", name)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("unknown predictor %q", name)
+	}
+}

@@ -1,0 +1,58 @@
+// Command tracegen emits the deterministic input-event traces that drive
+// the interactive workloads, in the line-oriented format of package trace.
+// Generated traces can be edited and replayed through itsysim for
+// repeatable interactive sessions, mirroring the paper's record/replay
+// methodology.
+//
+// Usage:
+//
+//	tracegen -workload web -seed 2 > web.trace
+//	tracegen -workload chess -o chess.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clocksched/internal/trace"
+	"clocksched/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "web", "workload: web, chess, editor")
+		seed = flag.Uint64("seed", 1, "generation seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *name {
+	case "web":
+		tr = workload.DefaultWebTrace(*seed)
+	case "chess":
+		tr = workload.DefaultChessTrace(*seed)
+	case "editor":
+		tr = workload.DefaultEditorTrace(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q (want web, chess, or editor)\n", *name)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := tr.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

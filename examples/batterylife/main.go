@@ -1,0 +1,59 @@
+// Batterylife reproduces the battery observations of the paper's Section
+// 2.1: the rate-capacity effect (2 hours of idle life at 206 MHz vs 18
+// hours at 59 MHz on a pair of AAA alkaline cells — a 9× lifetime change
+// for a 3.5× clock change) and the pulsed-discharge recovery effect of
+// Chiasserini & Rao, using the kinetic battery model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clocksched/internal/battery"
+	"clocksched/internal/cpu"
+	"clocksched/internal/expt"
+	"clocksched/internal/sim"
+)
+
+func main() {
+	res, err := expt.BatteryLifetime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	// Pulsed discharge: the same average power drawn in bursts with rests
+	// lets the cell recover bound charge and deliver more total on-time.
+	fmt.Println("\nPulsed discharge (kinetic battery model, 0.5 Ah pack):")
+	constant, err := battery.NewKiBaM(3.0, 0.5, 0.3, 0.0002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pulsed, err := battery.NewKiBaM(3.0, 0.5, 0.3, 0.0002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxLife := 100 * 3600 * sim.Second
+	constLife, err := constant.LifetimeUnder(
+		[]battery.LoadPhase{{Watts: 2.0, For: sim.Second}}, maxLife)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pulsedLife, err := pulsed.LifetimeUnder([]battery.LoadPhase{
+		{Watts: 2.0, For: 10 * sim.Second},
+		{Watts: 0, For: 10 * sim.Second},
+	}, maxLife)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  constant 2 W:        delivers power for %.1f min\n", constLife.Seconds()/60)
+	fmt.Printf("  pulsed 2 W (50%%):    delivers power for %.1f min of on-time\n",
+		pulsedLife.Seconds()/60/2)
+	fmt.Printf("  recovery bonus:      %.0f%% more delivered energy\n",
+		(pulsedLife.Seconds()/2/constLife.Seconds()-1)*100)
+
+	fmt.Printf("\nConclusion (paper §2.1): minimizing peak demand matters more than pulsing\n"+
+		"for pocket computers; running at %s instead of %s multiplies idle battery\n"+
+		"life by %.0f even though the clock only drops %.1f×.\n",
+		cpu.MinStep, cpu.MaxStep, res.Ratio, cpu.MaxStep.MHz()/cpu.MinStep.MHz())
+}

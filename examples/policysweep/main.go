@@ -1,0 +1,59 @@
+// Policysweep reproduces the paper's comprehensive policy study in
+// miniature: it sweeps the AVG_N decay from 0 (PAST) to 10 against every
+// combination of speed-setting algorithms at Pering's 50%/70% thresholds,
+// running each against the MPEG workload, and reports energy, deadline
+// misses, and clock-change counts. The takeaway matches Section 5.4: the
+// policies that never miss deadlines barely save energy, and the ones that
+// save energy miss deadlines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"clocksched"
+)
+
+func main() {
+	setters := []clocksched.SpeedSetter{clocksched.One, clocksched.Double, clocksched.Peg}
+
+	fmt.Println("AVG_N × speed setters, MPEG 30s, bounds 50%/70%:")
+	fmt.Printf("%-6s %-8s %-8s %10s %8s %8s\n",
+		"N", "up", "down", "energy(J)", "misses", "changes")
+
+	for _, n := range []int{0, 1, 3, 5, 7, 9, 10} {
+		for _, up := range setters {
+			for _, down := range setters {
+				res, err := clocksched.Run(clocksched.Config{
+					Workload: clocksched.MPEG,
+					Policy:   clocksched.PeringAvgN(n, up, down),
+					Duration: 30 * time.Second,
+					Seed:     1,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%-6d %-8s %-8s %10.2f %8d %8d\n",
+					n, up, down, res.EnergyJoules, res.Misses, res.ClockChanges)
+			}
+		}
+	}
+
+	// The reference points.
+	for _, mhz := range []float64{206.4, 132.7} {
+		res, err := clocksched.Run(clocksched.Config{
+			Workload: clocksched.MPEG,
+			Policy:   clocksched.ConstantPolicy(mhz, false),
+			Duration: 30 * time.Second,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-23s %10.2f %8d %8s\n",
+			res4(mhz), res.EnergyJoules, res.Misses, "-")
+	}
+}
+
+func res4(mhz float64) string { return fmt.Sprintf("constant @ %.1f MHz", mhz) }

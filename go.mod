@@ -1,0 +1,3 @@
+module clocksched
+
+go 1.22

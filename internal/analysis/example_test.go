@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"clocksched/internal/analysis"
+)
+
+// The Section 5.3 demonstration: AVG_3 filtering of the 9-busy/1-idle
+// rectangular wave never settles.
+func ExampleExpDecayFilter() {
+	wave, _ := analysis.RectWave(9, 1, 800)
+	filtered, _ := analysis.ExpDecayFilter(wave, 3, 0.9)
+	osc, _ := analysis.MeasureOscillation(filtered, 400)
+	fmt.Printf("steady-state swing: %.3f\n", osc.PeakToPeak)
+	// Output:
+	// steady-state swing: 0.245
+}
+
+// The Fourier magnitude of the decaying exponential attenuates but never
+// eliminates high frequencies (Figure 6).
+func ExampleExpDecayTransformMag() {
+	alpha, _ := analysis.AlphaForAvgN(9)
+	dc, _ := analysis.ExpDecayTransformMag(alpha, 0)
+	hi, _ := analysis.ExpDecayTransformMag(alpha, 10)
+	fmt.Printf("attenuation at ω=10: %.4f of DC, still nonzero\n", hi/dc)
+	// Output:
+	// attenuation at ω=10: 0.0105 of DC, still nonzero
+}

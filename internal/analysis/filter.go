@@ -1,0 +1,166 @@
+// Package analysis provides the signal-processing toolkit Section 5.3 of the
+// paper uses to explain why AVG_N oscillates: the exponentially-decaying
+// weighting function, its convolution form, discrete and analytic Fourier
+// transforms, moving averages, and oscillation measures.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ExpDecayFilter applies the AVG_N recursion W_t = (N·W_{t−1} + U_{t−1})/(N+1)
+// to a utilization series, returning the weighted series. W_0 is initial.
+// This is the exact smoothing the paper's scheduler performs, in float form
+// for analysis (the scheduler itself uses fixed point; see package policy).
+func ExpDecayFilter(u []float64, n int, initial float64) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("analysis: negative decay N = %d", n)
+	}
+	w := make([]float64, len(u))
+	prev := initial
+	for i, ut := range u {
+		prev = (float64(n)*prev + ut) / float64(n+1)
+		w[i] = prev
+	}
+	return w, nil
+}
+
+// ExpDecayKernel returns the first length taps of the convolution kernel
+// equivalent to the AVG_N recursion: w_k = (1/(N+1)) · (N/(N+1))^k. The
+// paper derives this by recursively expanding the W_{t−1} term.
+func ExpDecayKernel(n, length int) ([]float64, error) {
+	if n < 0 || length < 1 {
+		return nil, fmt.Errorf("analysis: bad kernel parameters n=%d length=%d", n, length)
+	}
+	k := make([]float64, length)
+	base := float64(n) / float64(n+1)
+	coeff := 1 / float64(n+1)
+	pow := 1.0
+	for i := range k {
+		k[i] = coeff * pow
+		pow *= base
+	}
+	return k, nil
+}
+
+// Convolve computes the causal discrete convolution y_t = Σ_k kernel_k ·
+// x_{t−k}, truncated at the signal boundary (x_{t<0} treated as 0).
+func Convolve(x, kernel []float64) []float64 {
+	y := make([]float64, len(x))
+	for t := range x {
+		sum := 0.0
+		for k := 0; k < len(kernel) && k <= t; k++ {
+			sum += kernel[k] * x[t-k]
+		}
+		y[t] = sum
+	}
+	return y
+}
+
+// MovingAverage returns the trailing moving average of x with the given
+// window (the plot transformation of Figure 4: a 100 ms window over 10 ms
+// samples is window=10). Early points average over what is available.
+func MovingAverage(x []float64, window int) ([]float64, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("analysis: bad moving-average window %d", window)
+	}
+	y := make([]float64, len(x))
+	sum := 0.0
+	for i := range x {
+		sum += x[i]
+		if i >= window {
+			sum -= x[i-window]
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		y[i] = sum / float64(n)
+	}
+	return y, nil
+}
+
+// RectWave generates a repeating rectangular utilization wave: busy quanta
+// at 1.0 followed by idle quanta at 0.0, repeated for the requested total
+// length. The paper's running example is busy=9, idle=1 — "an idealized
+// version of our MPEG player running roughly at an optimal speed".
+func RectWave(busy, idle, length int) ([]float64, error) {
+	if busy < 0 || idle < 0 || busy+idle == 0 || length < 0 {
+		return nil, fmt.Errorf("analysis: bad rect wave busy=%d idle=%d length=%d",
+			busy, idle, length)
+	}
+	w := make([]float64, length)
+	period := busy + idle
+	for i := range w {
+		if i%period < busy {
+			w[i] = 1
+		}
+	}
+	return w, nil
+}
+
+// ErrEmpty is returned when an analysis needs at least one sample.
+var ErrEmpty = errors.New("analysis: empty series")
+
+// Oscillation describes the steady-state oscillation of a filtered series.
+type Oscillation struct {
+	Min, Max float64
+	// PeakToPeak is Max − Min over the analysed region.
+	PeakToPeak float64
+	// Mean is the average level over the analysed region.
+	Mean float64
+}
+
+// MeasureOscillation examines the last portion of a series (after skipping
+// the first skip samples of transient) and reports its oscillation. The
+// paper's Figure 7 point is that AVG_3 filtering of a steady rectangular
+// wave never settles: PeakToPeak stays large forever.
+func MeasureOscillation(x []float64, skip int) (Oscillation, error) {
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= len(x) {
+		return Oscillation{}, ErrEmpty
+	}
+	region := x[skip:]
+	o := Oscillation{Min: region[0], Max: region[0]}
+	sum := 0.0
+	for _, v := range region {
+		if v < o.Min {
+			o.Min = v
+		}
+		if v > o.Max {
+			o.Max = v
+		}
+		sum += v
+	}
+	o.PeakToPeak = o.Max - o.Min
+	o.Mean = sum / float64(len(region))
+	return o, nil
+}
+
+// ExpDecayTransformMag returns the magnitude of the Fourier transform of the
+// continuous decaying exponential x(t) = e^{−αt}·u(t) at angular frequency
+// ω: |X(ω)| = 1/√(ω² + α²). This is the curve of the paper's Figure 6; it
+// attenuates but never eliminates high frequencies, which is the analytic
+// heart of the oscillation argument.
+func ExpDecayTransformMag(alpha, omega float64) (float64, error) {
+	if alpha <= 0 {
+		return 0, fmt.Errorf("analysis: decay rate α = %v must be positive", alpha)
+	}
+	return 1 / math.Sqrt(omega*omega+alpha*alpha), nil
+}
+
+// AlphaForAvgN maps the discrete AVG_N filter onto the continuous decay rate
+// of its envelope, in units of 1/quantum: the discrete kernel decays by
+// N/(N+1) per quantum, so α = −ln(N/(N+1)). Larger N gives smaller α —
+// stronger attenuation at the price of longer lag, exactly the tradeoff the
+// paper describes.
+func AlphaForAvgN(n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("analysis: AVG_%d has no continuous decay envelope", n)
+	}
+	return -math.Log(float64(n) / float64(n+1)), nil
+}

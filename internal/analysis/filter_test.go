@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestExpDecayFilterMatchesTable1(t *testing.T) {
+	// Table 1 of the paper: AVG_9 over 15 active quanta then idle, with
+	// utilization scaled ×10000. Floating-point version tracks the same
+	// trajectory.
+	u := make([]float64, 20)
+	for i := 0; i < 15; i++ {
+		u[i] = 10000
+	}
+	w, err := ExpDecayFilter(u, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := []float64{1000, 1900, 2710, 3439, 4095.1}
+	for i, want := range wantPrefix {
+		if !almostEqual(w[i], want, 0.5) {
+			t.Errorf("W_%d = %v, want ≈%v", i+1, w[i], want)
+		}
+	}
+	// After the transition to idle the average must fall.
+	if w[15] >= w[14] {
+		t.Error("weighted utilization did not fall on the idle quantum")
+	}
+}
+
+func TestExpDecayFilterPASTIsIdentity(t *testing.T) {
+	// AVG_0 (PAST) predicts exactly the previous interval.
+	u := []float64{0.2, 0.9, 0.1, 1.0}
+	w, err := ExpDecayFilter(u, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u {
+		if w[i] != u[i] {
+			t.Errorf("PAST filter altered the signal at %d: %v", i, w[i])
+		}
+	}
+}
+
+func TestExpDecayFilterRejectsNegativeN(t *testing.T) {
+	if _, err := ExpDecayFilter([]float64{1}, -1, 0); err == nil {
+		t.Error("negative N accepted")
+	}
+}
+
+func TestExpDecayKernel(t *testing.T) {
+	k, err := ExpDecayKernel(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w_k = 0.1 · 0.9^k
+	for i, want := range []float64{0.1, 0.09, 0.081, 0.0729, 0.06561} {
+		if !almostEqual(k[i], want, 1e-12) {
+			t.Errorf("kernel[%d] = %v, want %v", i, k[i], want)
+		}
+	}
+	if _, err := ExpDecayKernel(-1, 5); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := ExpDecayKernel(3, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestKernelSumsToOne(t *testing.T) {
+	// The infinite kernel is a probability distribution; a long prefix
+	// must sum close to 1 so filtering preserves steady-state level.
+	k, _ := ExpDecayKernel(9, 500)
+	sum := 0.0
+	for _, v := range k {
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("kernel sum = %v, want 1", sum)
+	}
+}
+
+func TestConvolveMatchesRecursion(t *testing.T) {
+	// The paper's algebra: the recursion equals convolution with the
+	// decaying-exponential kernel (for W_0 = 0, with the convolution
+	// seeing the input delayed by one quantum).
+	u := []float64{1, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 0.5, 0.25}
+	w, _ := ExpDecayFilter(u, 3, 0)
+	kernel, _ := ExpDecayKernel(3, len(u))
+	conv := Convolve(u, kernel)
+	for i := range u {
+		if !almostEqual(w[i], conv[i], 1e-9) {
+			t.Errorf("recursion and convolution disagree at %d: %v vs %v", i, w[i], conv[i])
+		}
+	}
+}
+
+func TestConvolveIdentityKernel(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5}
+	y := Convolve(x, []float64{1})
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("identity convolution changed the signal at %d", i)
+		}
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y, err := MovingAverage(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if !almostEqual(y[i], want[i], 1e-12) {
+			t.Errorf("MA[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if _, err := MovingAverage(x, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMovingAverageSmoothsVariance(t *testing.T) {
+	// Figure 4's purpose: a 10-quantum (100 ms) window shrinks the
+	// swing of a noisy periodic signal.
+	wave, _ := RectWave(9, 1, 400)
+	ma, _ := MovingAverage(wave, 10)
+	raw, _ := MeasureOscillation(wave, 50)
+	smooth, _ := MeasureOscillation(ma, 50)
+	if smooth.PeakToPeak >= raw.PeakToPeak {
+		t.Errorf("moving average did not shrink oscillation: %v vs %v",
+			smooth.PeakToPeak, raw.PeakToPeak)
+	}
+	if !almostEqual(smooth.Mean, 0.9, 0.01) {
+		t.Errorf("smoothed mean = %v, want ≈0.9", smooth.Mean)
+	}
+}
+
+func TestRectWave(t *testing.T) {
+	w, err := RectWave(9, 1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		want := 0.0
+		if i%10 < 9 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("wave[%d] = %v, want %v", i, v, want)
+		}
+	}
+	for _, c := range []struct{ b, i, l int }{{-1, 1, 5}, {1, -1, 5}, {0, 0, 5}, {1, 1, -1}} {
+		if _, err := RectWave(c.b, c.i, c.l); err == nil {
+			t.Errorf("RectWave(%d,%d,%d) accepted", c.b, c.i, c.l)
+		}
+	}
+}
+
+func TestMeasureOscillation(t *testing.T) {
+	x := []float64{0, 100, 0.4, 0.6, 0.4, 0.6} // big transient then ±0.1
+	o, err := MeasureOscillation(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(o.PeakToPeak, 0.2, 1e-12) {
+		t.Errorf("peak-to-peak = %v, want 0.2", o.PeakToPeak)
+	}
+	if !almostEqual(o.Mean, 0.5, 1e-12) {
+		t.Errorf("mean = %v, want 0.5", o.Mean)
+	}
+	if _, err := MeasureOscillation(x, 10); err == nil {
+		t.Error("skip beyond series accepted")
+	}
+	// Negative skip clamps to zero.
+	if _, err := MeasureOscillation(x, -1); err != nil {
+		t.Error("negative skip rejected")
+	}
+}
+
+func TestAvgNNeverSettlesOnRectWave(t *testing.T) {
+	// The core claim of Section 5.3 / Figure 7: AVG_3 filtering of the
+	// 9-busy/1-idle wave keeps oscillating in steady state over a
+	// "surprisingly wide range".
+	wave, _ := RectWave(9, 1, 800)
+	w, _ := ExpDecayFilter(wave, 3, 0.9)
+	o, err := MeasureOscillation(w, 400) // well past any transient
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PeakToPeak < 0.15 {
+		t.Errorf("steady-state oscillation = %v, want a wide swing (>0.15)", o.PeakToPeak)
+	}
+}
+
+func TestLargerNAttenuatesMore(t *testing.T) {
+	wave, _ := RectWave(9, 1, 2000)
+	swings := make([]float64, 0, 3)
+	for _, n := range []int{1, 3, 9} {
+		w, _ := ExpDecayFilter(wave, n, 0.9)
+		o, _ := MeasureOscillation(w, 1000)
+		swings = append(swings, o.PeakToPeak)
+	}
+	if !(swings[0] > swings[1] && swings[1] > swings[2]) {
+		t.Errorf("oscillation did not shrink with N: %v", swings)
+	}
+	// But even AVG_9 never reaches zero: attenuated, not eliminated.
+	if swings[2] <= 0.001 {
+		t.Errorf("AVG_9 oscillation %v vanished; paper says it must persist", swings[2])
+	}
+}
+
+func TestExpDecayTransformMag(t *testing.T) {
+	// |X(0)| = 1/α, and the transform decays monotonically with ω.
+	got, err := ExpDecayTransformMag(2, 0)
+	if err != nil || !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("|X(0)| = %v, %v; want 0.5", got, err)
+	}
+	prev := math.Inf(1)
+	for w := 0.0; w <= 15; w += 0.5 {
+		m, err := ExpDecayTransformMag(0.5, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > prev {
+			t.Fatalf("transform magnitude increased at ω=%v", w)
+		}
+		if m == 0 {
+			t.Fatalf("transform hit zero at ω=%v; it must only attenuate", w)
+		}
+		prev = m
+	}
+	if _, err := ExpDecayTransformMag(0, 1); err == nil {
+		t.Error("α=0 accepted")
+	}
+}
+
+func TestSmallerAlphaAttenuatesMore(t *testing.T) {
+	// "As α gets smaller the higher frequencies are attenuated to a
+	// greater degree" — relative to the DC gain.
+	aSmall, _ := AlphaForAvgN(9)
+	aBig, _ := AlphaForAvgN(1)
+	relSmall := func() float64 {
+		hi, _ := ExpDecayTransformMag(aSmall, 3)
+		dc, _ := ExpDecayTransformMag(aSmall, 0)
+		return hi / dc
+	}()
+	relBig := func() float64 {
+		hi, _ := ExpDecayTransformMag(aBig, 3)
+		dc, _ := ExpDecayTransformMag(aBig, 0)
+		return hi / dc
+	}()
+	if relSmall >= relBig {
+		t.Errorf("relative high-frequency gain: α=%v → %v vs α=%v → %v",
+			aSmall, relSmall, aBig, relBig)
+	}
+}
+
+func TestAlphaForAvgN(t *testing.T) {
+	a9, err := AlphaForAvgN(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a9, -math.Log(0.9), 1e-12) {
+		t.Errorf("α(9) = %v", a9)
+	}
+	if _, err := AlphaForAvgN(0); err == nil {
+		t.Error("AVG_0 α accepted")
+	}
+}
+
+// Property: the filter output is a convex combination of past inputs, so it
+// stays inside the input's range.
+func TestFilterBoundedProperty(t *testing.T) {
+	f := func(raw []uint8, n uint8) bool {
+		u := make([]float64, len(raw))
+		for i, v := range raw {
+			u[i] = float64(v) / 255
+		}
+		w, err := ExpDecayFilter(u, int(n%16), 0)
+		if err != nil {
+			return false
+		}
+		for _, v := range w {
+			if v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: filtering is linear — filter(a·x) = a·filter(x) for W_0 = 0.
+func TestFilterLinearityProperty(t *testing.T) {
+	f := func(raw []int8, scaleRaw uint8) bool {
+		scale := float64(scaleRaw%10) + 0.5
+		x := make([]float64, len(raw))
+		sx := make([]float64, len(raw))
+		for i, v := range raw {
+			x[i] = float64(v)
+			sx[i] = scale * float64(v)
+		}
+		w1, _ := ExpDecayFilter(x, 4, 0)
+		w2, _ := ExpDecayFilter(sx, 4, 0)
+		for i := range w1 {
+			if !almostEqual(scale*w1[i], w2[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// DFT computes the discrete Fourier transform of a real signal directly from
+// the definition. It is O(n²) and intended for small analytic checks; use
+// FFT for long signals.
+func DFT(x []float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += complex(x[t], 0) * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// FFT computes the discrete Fourier transform of a real signal using the
+// radix-2 Cooley–Tukey algorithm. The length must be a power of two.
+func FFT(x []float64) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("analysis: FFT length %d is not a power of two", n)
+	}
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftInPlace(buf)
+	return buf, nil
+}
+
+func fftInPlace(a []complex128) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Magnitudes returns |X_k| for each bin of a transform.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Spectrum computes the single-sided magnitude spectrum of a real signal
+// sampled at sampleHz: frequencies 0 … sampleHz/2 and the corresponding
+// magnitudes (normalized by n). The length must be a power of two.
+func Spectrum(x []float64, sampleHz float64) (freqs, mags []float64, err error) {
+	if sampleHz <= 0 {
+		return nil, nil, fmt.Errorf("analysis: bad sample rate %v", sampleHz)
+	}
+	X, err := FFT(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(X)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	mags = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freqs[k] = float64(k) * sampleHz / float64(n)
+		mags[k] = cmplx.Abs(X[k]) / float64(n)
+		if k != 0 && k != n/2 {
+			mags[k] *= 2 // fold the negative frequencies in
+		}
+	}
+	return freqs, mags, nil
+}
+
+// DominantFrequency returns the frequency bin (excluding DC) with the
+// largest magnitude in the single-sided spectrum of x.
+func DominantFrequency(x []float64, sampleHz float64) (float64, error) {
+	freqs, mags, err := Spectrum(x, sampleHz)
+	if err != nil {
+		return 0, err
+	}
+	if len(mags) < 2 {
+		return 0, ErrEmpty
+	}
+	best := 1
+	for k := 2; k < len(mags); k++ {
+		if mags[k] > mags[best] {
+			best = k
+		}
+	}
+	return freqs[best], nil
+}
+
+// IFFT computes the inverse discrete Fourier transform, returning the real
+// parts (the imaginary residue of a transform of real data is numerical
+// noise). The length must be a power of two.
+func IFFT(x []complex128) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("analysis: IFFT length %d is not a power of two", n)
+	}
+	// Conjugate, forward transform, conjugate, scale.
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = cmplx.Conj(v)
+	}
+	fftInPlace(buf)
+	out := make([]float64, n)
+	for i, v := range buf {
+		out[i] = real(cmplx.Conj(v)) / float64(n)
+	}
+	return out, nil
+}

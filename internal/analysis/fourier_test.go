@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestDFTConstantSignal(t *testing.T) {
+	x := []float64{2, 2, 2, 2}
+	X := DFT(x)
+	if !almostEqual(real(X[0]), 8, 1e-9) || !almostEqual(imag(X[0]), 0, 1e-9) {
+		t.Errorf("DC bin = %v, want 8", X[0])
+	}
+	for k := 1; k < 4; k++ {
+		if cmplx.Abs(X[k]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0", k, X[k])
+		}
+	}
+}
+
+func TestDFTSingleTone(t *testing.T) {
+	n := 32
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 4 * float64(i) / float64(n))
+	}
+	X := DFT(x)
+	// Energy concentrates in bins 4 and n−4.
+	if cmplx.Abs(X[4]) < float64(n)/2-1e-6 {
+		t.Errorf("|X[4]| = %v, want %v", cmplx.Abs(X[4]), float64(n)/2)
+	}
+	for k := 0; k < n; k++ {
+		if k == 4 || k == n-4 {
+			continue
+		}
+		if cmplx.Abs(X[k]) > 1e-6 {
+			t.Errorf("leakage at bin %d: %v", k, cmplx.Abs(X[k]))
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = math.Sin(0.3*float64(i)) + 0.5*math.Cos(1.1*float64(i))
+	}
+	want := DFT(x)
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-6 {
+			t.Fatalf("FFT and DFT disagree at bin %d: %v vs %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if _, err := FFT(nil); err == nil {
+		t.Error("empty FFT accepted")
+	}
+	if _, err := FFT(make([]float64, 12)); err == nil {
+		t.Error("non-power-of-two FFT accepted")
+	}
+	if _, err := FFT(make([]float64, 1)); err != nil {
+		t.Error("length-1 FFT rejected")
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Σ|x|² = (1/N)·Σ|X|².
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = math.Sin(0.7*float64(i)) * math.Exp(-0.01*float64(i))
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeE, freqE float64
+	for _, v := range x {
+		timeE += v * v
+	}
+	for _, v := range X {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= float64(len(x))
+	if !almostEqual(timeE, freqE, 1e-6) {
+		t.Errorf("Parseval violated: %v vs %v", timeE, freqE)
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	m := Magnitudes([]complex128{3 + 4i, 1, -2i})
+	want := []float64{5, 1, 2}
+	for i := range want {
+		if !almostEqual(m[i], want[i], 1e-12) {
+			t.Errorf("mag[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+}
+
+func TestSpectrumTone(t *testing.T) {
+	// 10 Hz tone sampled at 128 Hz for 1 s.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3 * math.Sin(2*math.Pi*10*float64(i)/128)
+	}
+	freqs, mags, err := Spectrum(x, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != n/2+1 {
+		t.Fatalf("spectrum has %d bins", len(freqs))
+	}
+	if freqs[10] != 10 {
+		t.Errorf("bin 10 frequency = %v", freqs[10])
+	}
+	if !almostEqual(mags[10], 3, 1e-6) {
+		t.Errorf("tone amplitude = %v, want 3", mags[10])
+	}
+	if _, _, err := Spectrum(x, 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestDominantFrequencyOfRectWave(t *testing.T) {
+	// A 3-busy/1-idle wave has period 4 quanta = 40 ms → 25 Hz
+	// fundamental at a 100 Hz quantum rate. (Period 4 divides the FFT
+	// length exactly, so there is no spectral leakage.)
+	wave, _ := RectWave(3, 1, 1024)
+	f, err := DominantFrequency(wave, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f, 25, 0.2) {
+		t.Errorf("dominant frequency = %v Hz, want 25 Hz", f)
+	}
+}
+
+func TestFilteredWaveKeepsFundamental(t *testing.T) {
+	// Section 5.3's conclusion: after AVG_N filtering, the fundamental is
+	// still there — attenuated, not removed — so the policy oscillates.
+	wave, _ := RectWave(3, 1, 1024)
+	w, _ := ExpDecayFilter(wave, 3, 0)
+	f, err := DominantFrequency(w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f, 25, 0.2) {
+		t.Errorf("dominant frequency after filtering = %v Hz, want 25 Hz", f)
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = math.Sin(0.2*float64(i)) + 0.3*math.Cos(1.7*float64(i))
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := IFFT(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEqual(back[i], x[i], 1e-9) {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, back[i], x[i])
+		}
+	}
+}
+
+func TestIFFTErrors(t *testing.T) {
+	if _, err := IFFT(nil); err == nil {
+		t.Error("empty IFFT accepted")
+	}
+	if _, err := IFFT(make([]complex128, 6)); err == nil {
+		t.Error("non-power-of-two IFFT accepted")
+	}
+}
+
+// Property: FFT→IFFT is the identity for random real signals.
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		// Pad to the next power of two, bounded.
+		n := 1
+		for n < len(raw) {
+			n <<= 1
+		}
+		if n > 1024 {
+			n = 1024
+		}
+		x := make([]float64, n)
+		for i := 0; i < n && i < len(raw); i++ {
+			x[i] = float64(raw[i]) / 1000
+		}
+		X, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		back, err := IFFT(X)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(back[i], x[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package battery models the two non-ideal battery properties Section 2.1 of
+// the paper leans on:
+//
+//  1. Rate-capacity effect: the energy a cell can deliver drops as the power
+//     drawn from it rises. The Itsy observation — a pair of AAA alkaline
+//     cells lasts about 2 hours with the system idle at 206 MHz but about
+//     18 hours idle at 59 MHz, a 9× lifetime change for a 3.5× clock
+//     change — is modelled with a Peukert law fitted through the observed
+//     points. The fitted exponent is larger than textbook alkaline values
+//     because it folds in DC-DC converter efficiency collapse and
+//     cutoff-voltage effects, which the paper does not separate either.
+//
+//  2. Charge recovery under pulsed discharge (Chiasserini & Rao): resting a
+//     cell lets bound charge migrate to the electrode and extends life. This
+//     is modelled with the kinetic battery model (KiBaM), two charge wells
+//     coupled by a rate constant.
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clocksched/internal/sim"
+)
+
+// Peukert is a rate-capacity battery model: I^k · t = constant. Lifetime
+// under a constant load I is t = Cp / I^k.
+type Peukert struct {
+	// Volts is the pack's nominal terminal voltage, used to convert a
+	// power draw into a current draw.
+	Volts float64
+	// Exponent is Peukert's k; k = 1 is an ideal (rate-independent) cell.
+	Exponent float64
+	// Cp is the Peukert capacity constant in A^k·s, fixed by one
+	// (current, lifetime) reference point.
+	Cp float64
+}
+
+// NewPeukert builds a model from its pack voltage, exponent, and one
+// reference point: the pack lasts refLife under a constant refAmps draw.
+func NewPeukert(volts, exponent, refAmps float64, refLife sim.Duration) (Peukert, error) {
+	if volts <= 0 || exponent < 1 || refAmps <= 0 || refLife <= 0 {
+		return Peukert{}, fmt.Errorf(
+			"battery: bad Peukert parameters (volts=%v k=%v refAmps=%v refLife=%v)",
+			volts, exponent, refAmps, refLife)
+	}
+	return Peukert{
+		Volts:    volts,
+		Exponent: exponent,
+		Cp:       math.Pow(refAmps, exponent) * refLife.Seconds(),
+	}, nil
+}
+
+// FitPeukert builds a model that passes exactly through two observed
+// (constant power, lifetime) points, such as the Itsy's 2 h at the 206 MHz
+// idle draw and 18 h at the 59 MHz idle draw.
+func FitPeukert(volts, watts1 float64, life1 sim.Duration, watts2 float64, life2 sim.Duration) (Peukert, error) {
+	if volts <= 0 || watts1 <= 0 || watts2 <= 0 || life1 <= 0 || life2 <= 0 {
+		return Peukert{}, errors.New("battery: non-positive fit inputs")
+	}
+	if watts1 == watts2 {
+		return Peukert{}, errors.New("battery: fit points have equal power")
+	}
+	i1, i2 := watts1/volts, watts2/volts
+	k := math.Log(life2.Seconds()/life1.Seconds()) / math.Log(i1/i2)
+	if k < 1 {
+		return Peukert{}, fmt.Errorf("battery: fit gives exponent %v < 1; points not rate-limited", k)
+	}
+	return NewPeukert(volts, k, i1, life1)
+}
+
+// Lifetime returns how long the pack powers a constant draw of watts.
+func (p Peukert) Lifetime(watts float64) (sim.Duration, error) {
+	if watts <= 0 {
+		return 0, errors.New("battery: non-positive load")
+	}
+	amps := watts / p.Volts
+	secs := p.Cp / math.Pow(amps, p.Exponent)
+	return sim.FromSeconds(secs), nil
+}
+
+// EffectiveCapacityAh returns the charge the pack delivers before exhaustion
+// at a constant current draw, in ampere-hours. This is the quantity that
+// shrinks as the draw grows.
+func (p Peukert) EffectiveCapacityAh(amps float64) (float64, error) {
+	if amps <= 0 {
+		return 0, errors.New("battery: non-positive current")
+	}
+	return p.Cp / math.Pow(amps, p.Exponent-1) / 3600, nil
+}
+
+// KiBaM is the kinetic battery model: total charge is split between an
+// available well (fraction c) feeding the load directly and a bound well
+// that replenishes the available well at a rate set by κ and the difference
+// in well heights. Resting the battery lets charge flow back and recovers
+// capacity — the pulsed-discharge effect.
+type KiBaM struct {
+	Volts float64
+	c     float64 // available-well capacity fraction, 0 < c < 1
+	kappa float64 // well-coupling rate constant, 1/s
+
+	y1 float64 // available charge, ampere-seconds
+	y2 float64 // bound charge, ampere-seconds
+}
+
+// NewKiBaM builds a cell with total charge capacityAh, available fraction c,
+// coupling rate kappa (1/s), and pack voltage volts. The cell starts full.
+func NewKiBaM(volts, capacityAh, c, kappa float64) (*KiBaM, error) {
+	if volts <= 0 || capacityAh <= 0 || kappa <= 0 || c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("battery: bad KiBaM parameters (volts=%v cap=%v c=%v κ=%v)",
+			volts, capacityAh, c, kappa)
+	}
+	total := capacityAh * 3600
+	return &KiBaM{
+		Volts: volts,
+		c:     c,
+		kappa: kappa,
+		y1:    c * total,
+		y2:    (1 - c) * total,
+	}, nil
+}
+
+// AvailableAh returns the charge in the available well, in ampere-hours.
+func (b *KiBaM) AvailableAh() float64 { return b.y1 / 3600 }
+
+// TotalAh returns the total remaining charge, in ampere-hours.
+func (b *KiBaM) TotalAh() float64 { return (b.y1 + b.y2) / 3600 }
+
+// Exhausted reports whether the available well has emptied: the terminal
+// voltage has collapsed and the pack can no longer supply the load.
+func (b *KiBaM) Exhausted() bool { return b.y1 <= 0 }
+
+// integrationStep bounds the Euler step so the well-coupling dynamics stay
+// stable and accurate.
+const integrationStep = 1.0 // seconds
+
+// Drain runs the cell under a constant power load for dt. It returns how
+// long the cell actually survived (dt if it survived the whole interval) and
+// whether it is still usable afterwards.
+func (b *KiBaM) Drain(dt sim.Duration, watts float64) (sim.Duration, bool) {
+	if watts < 0 {
+		watts = 0
+	}
+	amps := watts / b.Volts
+	total := dt.Seconds()
+	elapsed := 0.0
+	for elapsed < total && !b.Exhausted() {
+		h := integrationStep
+		if total-elapsed < h {
+			h = total - elapsed
+		}
+		b.step(h, amps)
+		elapsed += h
+	}
+	if b.Exhausted() {
+		return sim.FromSeconds(elapsed), false
+	}
+	return dt, true
+}
+
+// Rest lets the cell recover with no load for dt.
+func (b *KiBaM) Rest(dt sim.Duration) { _, _ = b.Drain(dt, 0) }
+
+func (b *KiBaM) step(h, amps float64) {
+	h1 := b.y1 / b.c
+	h2 := b.y2 / (1 - b.c)
+	flow := b.kappa * (h2 - h1) // charge per second migrating to the available well
+	b.y1 += (-amps + flow) * h
+	b.y2 += -flow * h
+	if b.y2 < 0 {
+		b.y2 = 0
+	}
+}
+
+// LifetimeUnder runs the cell to exhaustion under a repeating load pattern
+// and returns how long it lasted. Each phase applies a constant power for
+// its duration; the pattern repeats until exhaustion or maxLife elapses.
+func (b *KiBaM) LifetimeUnder(pattern []LoadPhase, maxLife sim.Duration) (sim.Duration, error) {
+	if len(pattern) == 0 {
+		return 0, errors.New("battery: empty load pattern")
+	}
+	for _, ph := range pattern {
+		if ph.For <= 0 {
+			return 0, errors.New("battery: non-positive phase duration")
+		}
+	}
+	elapsed := sim.Duration(0)
+	for elapsed < maxLife {
+		for _, ph := range pattern {
+			d := ph.For
+			if elapsed+d > maxLife {
+				d = maxLife - elapsed
+			}
+			survived, ok := b.Drain(d, ph.Watts)
+			elapsed += survived
+			if !ok || elapsed >= maxLife {
+				if elapsed > maxLife {
+					elapsed = maxLife
+				}
+				return elapsed, nil
+			}
+		}
+	}
+	return maxLife, nil
+}
+
+// LoadPhase is one segment of a repeating load pattern.
+type LoadPhase struct {
+	Watts float64
+	For   sim.Duration
+}

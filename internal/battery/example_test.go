@@ -1,0 +1,20 @@
+package battery_test
+
+import (
+	"fmt"
+
+	"clocksched/internal/battery"
+	"clocksched/internal/sim"
+)
+
+// Fit the paper's Section 2.1 observation exactly: a pair of AAA cells
+// lasts 2 hours at the 206 MHz idle draw but 18 hours at the 59 MHz draw.
+func ExampleFitPeukert() {
+	cell, _ := battery.FitPeukert(3.0,
+		0.200, 2*3600*sim.Second, // 206.4 MHz idle
+		0.114, 18*3600*sim.Second) // 59 MHz idle
+	mid, _ := cell.Lifetime(0.157) // 132.7 MHz idle draw
+	fmt.Printf("idle at 132.7 MHz: %.1f hours\n", mid.Seconds()/3600)
+	// Output:
+	// idle at 132.7 MHz: 5.2 hours
+}

@@ -1,0 +1,180 @@
+// Package cpu models the StrongARM SA-1100 processor as used in the Itsy
+// pocket computer: its eleven discrete clock steps, its two core-supply
+// voltages, the measured cost of changing either, and the frequency-dependent
+// cost of memory accesses (Table 3 of the paper).
+//
+// The package is a pure model — tables and arithmetic with no simulation
+// state — so that the kernel and experiment layers can own all mutable state.
+package cpu
+
+import "fmt"
+
+// Step indexes one of the SA-1100's discrete clock settings, 0 (slowest,
+// 59.0 MHz) through NumSteps-1 (fastest, 206.4 MHz). The paper's speed-setting
+// policies (one, double, peg) navigate this index.
+type Step int
+
+// NumSteps is the number of discrete clock settings ("clock steps") the
+// SA-1100 supports.
+const NumSteps = 11
+
+// freqKHz lists the SA-1100 core clock for each step, in kHz. Kilohertz keeps
+// all burst-duration arithmetic integral: kHz/1000 is exactly cycles per
+// microsecond.
+var freqKHz = [NumSteps]int64{
+	59000, 73700, 88500, 103200, 118000,
+	132700, 147500, 162200, 176900, 191700, 206400,
+}
+
+// Table 3 of the paper: the number of processor cycles needed for a single
+// memory-word reference and for a full cache-line fill at each clock step.
+// EDO DRAM timing is fixed in wall-clock terms, so a faster core burns more
+// cycles per access; the jump between 162.2 and 176.9 MHz is what produces
+// the utilization plateau of Figure 9.
+var (
+	memCycles   = [NumSteps]int64{11, 11, 11, 11, 13, 14, 14, 15, 18, 19, 20}
+	cacheCycles = [NumSteps]int64{39, 39, 39, 39, 41, 42, 49, 50, 60, 61, 69}
+)
+
+// Transition costs measured in Section 5.4 of the paper.
+const (
+	// ClockChangeStall is how long the processor cannot execute
+	// instructions while the PLL relocks after a clock-step change,
+	// independent of the starting or target speed.
+	ClockChangeStall = 200 // microseconds
+
+	// VoltageSettleDown is how long the core supply takes to settle after
+	// being lowered from 1.5 V to 1.23 V (decoupling capacitance drains
+	// slowly). The processor keeps executing; power decays over this span.
+	VoltageSettleDown = 250 // microseconds
+
+	// VoltageSettleUp is the settle time for raising the voltage, which the
+	// paper found to be effectively instantaneous.
+	VoltageSettleUp = 0
+)
+
+// MinStep and MaxStep are the slowest and fastest clock steps.
+const (
+	MinStep Step = 0
+	MaxStep Step = NumSteps - 1
+)
+
+// Valid reports whether s is a legal clock step.
+func (s Step) Valid() bool { return s >= MinStep && s <= MaxStep }
+
+// KHz returns the clock frequency of step s in kHz. It panics on an invalid
+// step: a step outside the table is a programming error, not an input error.
+func (s Step) KHz() int64 {
+	if !s.Valid() {
+		panic(fmt.Sprintf("cpu: invalid step %d", int(s)))
+	}
+	return freqKHz[s]
+}
+
+// MHz returns the clock frequency of step s in MHz.
+func (s Step) MHz() float64 { return float64(s.KHz()) / 1000 }
+
+// MemCycles returns the cycles consumed by one memory-word reference at s
+// (Table 3).
+func (s Step) MemCycles() int64 {
+	if !s.Valid() {
+		panic(fmt.Sprintf("cpu: invalid step %d", int(s)))
+	}
+	return memCycles[s]
+}
+
+// CacheLineCycles returns the cycles consumed by one full cache-line fill at
+// s (Table 3).
+func (s Step) CacheLineCycles() int64 {
+	if !s.Valid() {
+		panic(fmt.Sprintf("cpu: invalid step %d", int(s)))
+	}
+	return cacheCycles[s]
+}
+
+// String formats the step as its frequency, e.g. "206.4MHz".
+func (s Step) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+	return fmt.Sprintf("%.1fMHz", s.MHz())
+}
+
+// Clamp returns s limited to the valid range.
+func (s Step) Clamp() Step {
+	if s < MinStep {
+		return MinStep
+	}
+	if s > MaxStep {
+		return MaxStep
+	}
+	return s
+}
+
+// StepForKHz returns the slowest step whose frequency is at least khz, or
+// MaxStep if no step is fast enough. It is the "minimum speed that meets the
+// demand" selection primitive.
+func StepForKHz(khz int64) Step {
+	for s := MinStep; s <= MaxStep; s++ {
+		if freqKHz[s] >= khz {
+			return s
+		}
+	}
+	return MaxStep
+}
+
+// NearestStep returns the step whose frequency is closest to khz.
+func NearestStep(khz int64) Step {
+	best := MinStep
+	bestDiff := int64(-1)
+	for s := MinStep; s <= MaxStep; s++ {
+		d := freqKHz[s] - khz
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			best, bestDiff = s, d
+		}
+	}
+	return best
+}
+
+// Voltage is a core-supply setting. The Itsy v1.5 units in the study were
+// modified to run the core at either 1.5 V (the manufacturer specification)
+// or 1.23 V (below specification but safe at moderate clock speeds).
+type Voltage int
+
+const (
+	// VHigh is the specified 1.5 V core supply, required at the fastest
+	// clock steps.
+	VHigh Voltage = iota
+	// VLow is the out-of-spec 1.23 V supply, usable only at moderate
+	// speeds; the paper enables it below 162.2 MHz.
+	VLow
+)
+
+// Volts returns the supply level in volts.
+func (v Voltage) Volts() float64 {
+	if v == VLow {
+		return 1.23
+	}
+	return 1.5
+}
+
+// String formats the voltage, e.g. "1.5V".
+func (v Voltage) String() string {
+	if v == VLow {
+		return "1.23V"
+	}
+	return "1.5V"
+}
+
+// MaxLowVoltageStep is the fastest step at which the 1.23 V supply is safe.
+// The paper's voltage-scaling configuration drops the voltage only when the
+// clock falls below 162.2 MHz, i.e. at 147.5 MHz and slower.
+const MaxLowVoltageStep Step = 6 // 147.5 MHz
+
+// VoltageOK reports whether voltage v is safe at step s.
+func VoltageOK(s Step, v Voltage) bool {
+	return v == VHigh || s <= MaxLowVoltageStep
+}

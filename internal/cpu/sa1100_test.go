@@ -1,0 +1,194 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStepFrequencies(t *testing.T) {
+	// Endpoints and a middle value straight from the paper.
+	if got := MinStep.KHz(); got != 59000 {
+		t.Errorf("MinStep = %d kHz, want 59000", got)
+	}
+	if got := MaxStep.KHz(); got != 206400 {
+		t.Errorf("MaxStep = %d kHz, want 206400", got)
+	}
+	if got := Step(5).KHz(); got != 132700 {
+		t.Errorf("Step(5) = %d kHz, want 132700 (the MPEG sweet spot)", got)
+	}
+}
+
+func TestStepsStrictlyIncreasing(t *testing.T) {
+	for s := MinStep + 1; s <= MaxStep; s++ {
+		if s.KHz() <= (s - 1).KHz() {
+			t.Errorf("step %v not faster than %v", s, s-1)
+		}
+	}
+}
+
+func TestTable3Monotone(t *testing.T) {
+	// Memory costs in cycles never decrease as the clock speeds up.
+	for s := MinStep + 1; s <= MaxStep; s++ {
+		if s.MemCycles() < (s - 1).MemCycles() {
+			t.Errorf("mem cycles decreased at %v", s)
+		}
+		if s.CacheLineCycles() < (s - 1).CacheLineCycles() {
+			t.Errorf("cache cycles decreased at %v", s)
+		}
+	}
+}
+
+func TestTable3PlateauJump(t *testing.T) {
+	// The paper singles out the jump between 162.2 MHz (step 7) and
+	// 176.9 MHz (step 8): 15→18 cycles/word and 50→60 cycles/line.
+	if Step(7).MemCycles() != 15 || Step(8).MemCycles() != 18 {
+		t.Errorf("mem cycles at steps 7,8 = %d,%d, want 15,18",
+			Step(7).MemCycles(), Step(8).MemCycles())
+	}
+	if Step(7).CacheLineCycles() != 50 || Step(8).CacheLineCycles() != 60 {
+		t.Errorf("cache cycles at steps 7,8 = %d,%d, want 50,60",
+			Step(7).CacheLineCycles(), Step(8).CacheLineCycles())
+	}
+}
+
+func TestStepValidAndClamp(t *testing.T) {
+	if Step(-1).Valid() || Step(NumSteps).Valid() {
+		t.Error("out-of-range steps report Valid")
+	}
+	if got := Step(-3).Clamp(); got != MinStep {
+		t.Errorf("Clamp(-3) = %v", got)
+	}
+	if got := Step(99).Clamp(); got != MaxStep {
+		t.Errorf("Clamp(99) = %v", got)
+	}
+	if got := Step(4).Clamp(); got != Step(4) {
+		t.Errorf("Clamp(4) = %v", got)
+	}
+}
+
+func TestStepPanicsOnInvalid(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Step(-1).KHz() },
+		func() { Step(NumSteps).MemCycles() },
+		func() { Step(-2).CacheLineCycles() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid step access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if got := MaxStep.String(); got != "206.4MHz" {
+		t.Errorf("MaxStep.String() = %q", got)
+	}
+	if got := MinStep.String(); got != "59.0MHz" {
+		t.Errorf("MinStep.String() = %q", got)
+	}
+	if got := Step(-1).String(); got != "Step(-1)" {
+		t.Errorf("invalid String() = %q", got)
+	}
+}
+
+func TestStepForKHz(t *testing.T) {
+	cases := []struct {
+		khz  int64
+		want Step
+	}{
+		{0, MinStep},
+		{59000, MinStep},
+		{59001, Step(1)},
+		{132700, Step(5)},
+		{200000, MaxStep},
+		{206400, MaxStep},
+		{999999, MaxStep}, // demand beyond the hardware pegs at max
+	}
+	for _, c := range cases {
+		if got := StepForKHz(c.khz); got != c.want {
+			t.Errorf("StepForKHz(%d) = %v, want %v", c.khz, got, c.want)
+		}
+	}
+}
+
+func TestNearestStep(t *testing.T) {
+	cases := []struct {
+		khz  int64
+		want Step
+	}{
+		{0, MinStep},
+		{59000, MinStep},
+		{67000, Step(1)}, // closer to 73.7 than 59.0
+		{132000, Step(5)},
+		{1 << 40, MaxStep},
+	}
+	for _, c := range cases {
+		if got := NearestStep(c.khz); got != c.want {
+			t.Errorf("NearestStep(%d) = %v, want %v", c.khz, got, c.want)
+		}
+	}
+}
+
+func TestNearestStepProperty(t *testing.T) {
+	// NearestStep really is nearest: no other step is strictly closer.
+	f := func(khz uint32) bool {
+		target := int64(khz)
+		got := NearestStep(target)
+		diff := func(s Step) int64 {
+			d := s.KHz() - target
+			if d < 0 {
+				d = -d
+			}
+			return d
+		}
+		for s := MinStep; s <= MaxStep; s++ {
+			if diff(s) < diff(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoltage(t *testing.T) {
+	if VHigh.Volts() != 1.5 || VLow.Volts() != 1.23 {
+		t.Errorf("volts = %v, %v", VHigh.Volts(), VLow.Volts())
+	}
+	if VHigh.String() != "1.5V" || VLow.String() != "1.23V" {
+		t.Errorf("strings = %q, %q", VHigh.String(), VLow.String())
+	}
+}
+
+func TestVoltageOK(t *testing.T) {
+	// 1.23 V is allowed only below 162.2 MHz.
+	if !VoltageOK(Step(6), VLow) { // 147.5 MHz
+		t.Error("1.23V at 147.5MHz should be allowed")
+	}
+	if VoltageOK(Step(7), VLow) { // 162.2 MHz
+		t.Error("1.23V at 162.2MHz should be rejected")
+	}
+	for s := MinStep; s <= MaxStep; s++ {
+		if !VoltageOK(s, VHigh) {
+			t.Errorf("1.5V rejected at %v", s)
+		}
+	}
+}
+
+func TestTransitionConstants(t *testing.T) {
+	// Section 5.4: ~200 µs clock stall, ~250 µs down-settle, instant rise;
+	// both under 2% of the 10 ms scheduling interval.
+	if ClockChangeStall != 200 || VoltageSettleDown != 250 || VoltageSettleUp != 0 {
+		t.Fatalf("transition constants = %d, %d, %d",
+			ClockChangeStall, VoltageSettleDown, VoltageSettleUp)
+	}
+	if ClockChangeStall*100 > 10000*2 {
+		t.Error("clock stall exceeds 2% of a quantum")
+	}
+}

@@ -1,0 +1,157 @@
+// Package daq simulates the data-acquisition setup of Section 4.1: an
+// external instrument samples the Itsy's supply voltage and the voltage drop
+// across a 0.02 Ω precision shunt resistor 5000 times per second, quantizes
+// each reading to 16 bits, and begins recording when the device under test
+// toggles a GPIO pin.
+//
+// Every energy number an experiment reports flows through this package, so
+// results carry the same sampling and quantization structure as the paper's:
+// E = Σ pᵢ · 0.0002 J, where pᵢ are the captured power readings.
+package daq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clocksched/internal/power"
+	"clocksched/internal/sim"
+)
+
+// Config describes the instrument.
+type Config struct {
+	// SampleInterval is the time between successive readings. The paper's
+	// DAQ read 5000 times per second: 200 µs.
+	SampleInterval sim.Duration
+	// Bits is the ADC resolution.
+	Bits int
+	// FullScaleWatts is the power corresponding to a full-scale ADC
+	// reading; readings clip above it.
+	FullScaleWatts float64
+	// SupplyVolts is the external supply level, 3.1 V in the paper's
+	// setup. It is recorded for current computations.
+	SupplyVolts float64
+	// ShuntOhms is the sense-resistor value, 0.02 Ω in the paper.
+	ShuntOhms float64
+}
+
+// DefaultConfig returns the paper's instrument settings.
+func DefaultConfig() Config {
+	return Config{
+		SampleInterval: 200 * sim.Microsecond,
+		Bits:           16,
+		FullScaleWatts: 8.0,
+		SupplyVolts:    3.1,
+		ShuntOhms:      0.02,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SampleInterval <= 0 {
+		return errors.New("daq: non-positive sample interval")
+	}
+	if c.Bits < 1 || c.Bits > 32 {
+		return fmt.Errorf("daq: unreasonable ADC resolution %d bits", c.Bits)
+	}
+	if c.FullScaleWatts <= 0 {
+		return errors.New("daq: non-positive full scale")
+	}
+	return nil
+}
+
+// quantize maps w onto the ADC's code grid and back, clipping at full scale.
+func (c Config) quantize(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if w >= c.FullScaleWatts {
+		return c.FullScaleWatts
+	}
+	codes := float64(int64(1)<<uint(c.Bits) - 1)
+	lsb := c.FullScaleWatts / codes
+	return math.Round(w/lsb) * lsb
+}
+
+// Capture is one recorded measurement window.
+type Capture struct {
+	Config  Config
+	Start   sim.Time
+	Samples []float64 // quantized power readings, watts
+}
+
+// Sample records power readings from rec over [start, end), beginning at the
+// trigger instant start, one reading every SampleInterval.
+func Sample(rec *power.Recorder, start, end sim.Time, cfg Config) (Capture, error) {
+	if err := cfg.validate(); err != nil {
+		return Capture{}, err
+	}
+	if start < 0 || end <= start {
+		return Capture{}, fmt.Errorf("daq: bad capture window [%v, %v)", start, end)
+	}
+	if end > rec.End() {
+		return Capture{}, fmt.Errorf("daq: capture window ends at %v but timeline ends at %v",
+			end, rec.End())
+	}
+	n := int((end - start) / cfg.SampleInterval)
+	if n == 0 {
+		return Capture{}, errors.New("daq: capture window shorter than one sample interval")
+	}
+	cap := Capture{Config: cfg, Start: start, Samples: make([]float64, 0, n)}
+	for i := 0; i < n; i++ {
+		t := start + sim.Time(i)*cfg.SampleInterval
+		w, err := rec.PowerAt(t)
+		if err != nil {
+			return Capture{}, err
+		}
+		cap.Samples = append(cap.Samples, cfg.quantize(w))
+	}
+	return cap, nil
+}
+
+// Duration returns the time span the capture covers.
+func (c Capture) Duration() sim.Duration {
+	return sim.Duration(len(c.Samples)) * c.Config.SampleInterval
+}
+
+// Energy computes total energy exactly as the paper does: each reading
+// stands for the average power over the following sample interval.
+func (c Capture) Energy() float64 {
+	dt := c.Config.SampleInterval.Seconds()
+	sum := 0.0
+	for _, p := range c.Samples {
+		sum += p * dt
+	}
+	return sum
+}
+
+// AveragePower returns the mean of the captured readings, in watts.
+func (c Capture) AveragePower() float64 {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range c.Samples {
+		sum += p
+	}
+	return sum / float64(len(c.Samples))
+}
+
+// PeakPower returns the largest captured reading, in watts.
+func (c Capture) PeakPower() float64 {
+	peak := 0.0
+	for _, p := range c.Samples {
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// MeanCurrent returns the average supply current implied by the capture, in
+// amperes, as the instrument operator would compute it from the shunt.
+func (c Capture) MeanCurrent() float64 {
+	if c.Config.SupplyVolts <= 0 {
+		return 0
+	}
+	return c.AveragePower() / c.Config.SupplyVolts
+}

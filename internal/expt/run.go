@@ -1,0 +1,142 @@
+// Package expt defines one reproduction harness per table and figure of the
+// paper's evaluation. Each experiment returns a typed result with a text
+// renderer that prints the same rows or series the paper reports;
+// cmd/experiments regenerates everything, and the module-level benchmarks
+// (bench_test.go) time each one.
+package expt
+
+import (
+	"fmt"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/daq"
+	"clocksched/internal/kernel"
+	"clocksched/internal/policy"
+	"clocksched/internal/power"
+	"clocksched/internal/sim"
+	"clocksched/internal/workload"
+)
+
+// RunSpec describes one simulated measurement run: a workload on the Itsy
+// under a clock scaling policy, instrumented by the DAQ.
+type RunSpec struct {
+	// Workload is one of "mpeg", "web", "chess", "editor", or "rect".
+	Workload string
+	// Seed drives workload jitter; distinct seeds stand in for the
+	// paper's repeated measurement runs.
+	Seed uint64
+	// Duration bounds the run; zero uses the workload's natural length.
+	Duration sim.Duration
+	// Policy is the installed clock scaling module; nil runs at constant
+	// initial settings.
+	Policy kernel.SpeedPolicy
+	// InitialStep and InitialV are the boot clock settings (zero values:
+	// 59 MHz at 1.5 V — pass cpu.MaxStep explicitly for full speed).
+	InitialStep cpu.Step
+	InitialV    cpu.Voltage
+	// Model overrides the power model (nil: the calibrated Itsy model).
+	Model *power.Model
+}
+
+// RunOutcome bundles everything a measurement run produced.
+type RunOutcome struct {
+	Spec     RunSpec
+	Workload workload.Workload
+	Kernel   *kernel.Kernel
+	Capture  daq.Capture
+
+	// EnergyJ is the DAQ-integrated energy of the whole run, the
+	// quantity Table 2 reports.
+	EnergyJ float64
+	// AvgPowerW is the mean sampled power.
+	AvgPowerW float64
+	// MeanUtil is the average per-quantum utilization in [0,1].
+	MeanUtil float64
+}
+
+func buildWorkload(spec RunSpec) (workload.Workload, error) {
+	switch spec.Workload {
+	case "mpeg":
+		cfg := workload.DefaultMPEGConfig()
+		if spec.Seed != 0 {
+			cfg.Seed = spec.Seed
+		}
+		if spec.Duration != 0 {
+			cfg.Length = spec.Duration
+		}
+		// A deadline-based policy gets the cooperative application model
+		// of the paper's future-work section: the player advertises each
+		// frame's work and due time.
+		if ds, ok := spec.Policy.(*policy.DeadlineScheduler); ok {
+			cfg.Deadlines = ds
+		}
+		return workload.NewMPEG(cfg)
+	case "web":
+		return workload.NewWeb(workload.DefaultWebTrace(spec.Seed + 1))
+	case "chess":
+		return workload.NewChess(workload.DefaultChessTrace(spec.Seed + 1))
+	case "editor":
+		return workload.NewTalkingEditor(workload.DefaultEditorTrace(spec.Seed + 1))
+	case "rect":
+		length := spec.Duration
+		if length == 0 {
+			length = 60 * sim.Second
+		}
+		return workload.NewRectWave(9, 1, length)
+	default:
+		return nil, fmt.Errorf("expt: unknown workload %q", spec.Workload)
+	}
+}
+
+// Run executes one measurement run.
+func Run(spec RunSpec) (*RunOutcome, error) {
+	w, err := buildWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+	length := spec.Duration
+	if length == 0 {
+		length = w.Duration()
+	}
+
+	eng := &sim.Engine{}
+	cfg := kernel.DefaultConfig()
+	cfg.InitialStep = spec.InitialStep
+	cfg.InitialV = spec.InitialV
+	cfg.Policy = spec.Policy
+	if spec.Model != nil {
+		cfg.Model = *spec.Model
+	}
+	k, err := kernel.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Install(k); err != nil {
+		return nil, err
+	}
+	if err := k.Run(length); err != nil {
+		return nil, err
+	}
+
+	cap, err := daq.Sample(k.Recorder(), 0, length, daq.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RunOutcome{
+		Spec:      spec,
+		Workload:  w,
+		Kernel:    k,
+		Capture:   cap,
+		EnergyJ:   cap.Energy(),
+		AvgPowerW: cap.AveragePower(),
+	}
+	if log := k.UtilLog(); len(log) > 0 {
+		sum := 0
+		for _, u := range log {
+			sum += u.PP10K
+		}
+		out.MeanUtil = float64(sum) / float64(len(log)) / 10000
+	}
+	return out, nil
+}

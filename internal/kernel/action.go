@@ -1,0 +1,120 @@
+// Package kernel simulates the slice of Linux 2.0.30 that the paper
+// instruments: a round-robin process scheduler driven by the 100 Hz system
+// clock with the scheduler forced to run every 10 ms quantum, an idle
+// process (pid 0) that puts the processor into a low-power nap, per-quantum
+// CPU-utilization accounting read and cleared by an installable clock
+// scaling policy module, and a scheduler activity log recording the process
+// identifier, the microsecond-resolution time, and the current clock rate
+// of every scheduling decision.
+package kernel
+
+import (
+	"fmt"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/sim"
+)
+
+// ActionKind enumerates what a simulated program can ask the kernel for.
+type ActionKind int
+
+const (
+	// ActCompute executes a burst of frequency-dependent work (cycles and
+	// memory references); its wall-clock time shrinks as the clock rises.
+	ActCompute ActionKind = iota
+	// ActComputeFor is busy for a fixed wall-clock duration regardless of
+	// clock speed — e.g. Crafty planning moves "for specific periods of
+	// time", or a busy-wait calibrated in time.
+	ActComputeFor
+	// ActSpinUntil busy-waits until an absolute time — the MPEG player's
+	// spin loop when a frame is ready less than 12 ms early.
+	ActSpinUntil
+	// ActSleepFor blocks for a duration (timer sleep).
+	ActSleepFor
+	// ActSleepUntil blocks until an absolute time.
+	ActSleepUntil
+	// ActWaitEvent blocks until the process is woken externally — an
+	// input event arriving from a replayed trace.
+	ActWaitEvent
+	// ActExit terminates the process.
+	ActExit
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActCompute:
+		return "compute"
+	case ActComputeFor:
+		return "compute-for"
+	case ActSpinUntil:
+		return "spin-until"
+	case ActSleepFor:
+		return "sleep-for"
+	case ActSleepUntil:
+		return "sleep-until"
+	case ActWaitEvent:
+		return "wait-event"
+	case ActExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one step of a simulated program.
+type Action struct {
+	Kind  ActionKind
+	Burst cpu.Burst    // ActCompute
+	Dur   sim.Duration // ActComputeFor, ActSleepFor
+	Until sim.Time     // ActSpinUntil, ActSleepUntil
+	// SideEffect, if set, runs when the kernel picks the action up —
+	// i.e. when the preceding action has completed. Programs use it to
+	// signal other processes (for example, handing text to a speech
+	// synthesizer once the file has been read). It may call Kernel.Wake.
+	SideEffect func(now sim.Time)
+}
+
+// Convenience constructors keep workload code readable.
+
+// Compute returns an action executing the burst.
+func Compute(b cpu.Burst) Action { return Action{Kind: ActCompute, Burst: b} }
+
+// ComputeFor returns an action that is busy for a fixed wall-clock span.
+func ComputeFor(d sim.Duration) Action { return Action{Kind: ActComputeFor, Dur: d} }
+
+// SpinUntil returns an action that busy-waits until t.
+func SpinUntil(t sim.Time) Action { return Action{Kind: ActSpinUntil, Until: t} }
+
+// SleepFor returns an action that blocks for d.
+func SleepFor(d sim.Duration) Action { return Action{Kind: ActSleepFor, Dur: d} }
+
+// SleepUntil returns an action that blocks until t.
+func SleepUntil(t sim.Time) Action { return Action{Kind: ActSleepUntil, Until: t} }
+
+// WaitEvent returns an action that blocks until an external wake.
+func WaitEvent() Action { return Action{Kind: ActWaitEvent} }
+
+// Exit returns the terminating action.
+func Exit() Action { return Action{Kind: ActExit} }
+
+// Program is the behaviour of one simulated process. The kernel calls Next
+// whenever the previous action has completed; now is the current virtual
+// time. Programs must be deterministic given their own state and the times
+// they observe.
+type Program interface {
+	Next(now sim.Time) Action
+	Name() string
+}
+
+// ProgramFunc adapts a closure into a Program.
+type ProgramFunc struct {
+	ProgName string
+	Fn       func(now sim.Time) Action
+}
+
+// Next implements Program.
+func (p ProgramFunc) Next(now sim.Time) Action { return p.Fn(now) }
+
+// Name implements Program.
+func (p ProgramFunc) Name() string { return p.ProgName }

@@ -1,0 +1,524 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/power"
+	"clocksched/internal/sim"
+)
+
+// SpeedPolicy is the installable clock scaling policy module. The kernel
+// calls it from the clock-interrupt handler at every quantum with the
+// utilization of the quantum that just ended (PP10K: busy microseconds per
+// 10 ms quantum) and the current clock step and core voltage; it returns
+// the settings for the next quantum. policy.Governor and policy.Constant
+// satisfy this interface.
+type SpeedPolicy interface {
+	OnQuantum(now sim.Time, utilPP10K int, s cpu.Step, v cpu.Voltage) (cpu.Step, cpu.Voltage)
+}
+
+// Config configures a kernel instance.
+type Config struct {
+	// Policy is the clock scaling module; nil runs at the initial
+	// settings forever (no module installed).
+	Policy SpeedPolicy
+	// InitialStep and InitialV are the boot clock settings.
+	InitialStep cpu.Step
+	InitialV    cpu.Voltage
+	// Model is the power model used for the energy timeline.
+	Model power.Model
+	// Quantum is the scheduling quantum; zero selects the Linux default
+	// of 10 ms.
+	Quantum sim.Duration
+	// SchedOverhead is the execution overhead of forcing the scheduler to
+	// run every quantum; the paper measured about 6 µs per 10 ms
+	// interval (0.06%). It is charged as busy time. Zero means zero.
+	SchedOverhead sim.Duration
+	// SchedLogCap bounds the scheduler activity log, reproducing the
+	// paper's instrumentation artifact: "Due to kernel memory
+	// limitations, we could only capture a subset of the process
+	// behavior." Zero means unbounded; once the cap is reached, further
+	// decisions go unrecorded (scheduling itself is unaffected).
+	SchedLogCap int
+}
+
+// DefaultConfig returns the paper's measurement configuration: no policy
+// module, full speed at 1.5 V, the calibrated power model, 10 ms quanta,
+// and the measured 6 µs scheduler overhead.
+func DefaultConfig() Config {
+	return Config{
+		InitialStep:   cpu.MaxStep,
+		InitialV:      cpu.VHigh,
+		Model:         power.DefaultModel(),
+		Quantum:       sim.Quantum,
+		SchedOverhead: 6 * sim.Microsecond,
+	}
+}
+
+// SchedEntry is one record of the scheduler activity log: which process was
+// scheduled, when (microsecond resolution), and the clock rate at the time.
+type SchedEntry struct {
+	At  sim.Time
+	PID int
+	KHz int64
+}
+
+// UtilSample is one quantum's utilization as the policy module saw it.
+type UtilSample struct {
+	At     sim.Time // end of the quantum
+	PP10K  int      // busy fraction, parts per 10000
+	StepAt cpu.Step // clock step during the quantum
+}
+
+// Kernel is the simulated operating system.
+type Kernel struct {
+	eng *sim.Engine
+	cfg Config
+
+	procs   []*Process
+	runq    []*Process
+	cur     *Process
+	nextPID int
+
+	step cpu.Step
+	volt cpu.Voltage
+	// powerVolt lags volt by the settle time on downward changes: the
+	// supply drains slowly through the decoupling capacitors, so the
+	// power rail stays at the old level for VoltageSettleDown.
+	powerVolt cpu.Voltage
+
+	stalling   bool
+	completion sim.Handle // pending burst-completion event for cur
+
+	lastAccount  sim.Time
+	busyQuantum  sim.Duration
+	rec          *power.Recorder
+	schedLog     []SchedEntry
+	utilLog      []UtilSample
+	speedChanges int
+	voltChanges  int
+	stallTime    sim.Duration
+
+	residency    [cpu.NumSteps]sim.Duration
+	lastResStamp sim.Time
+
+	// inProgram guards against reentrant dispatch: a program's Next (or
+	// an action's SideEffect) may call Wake, which must then only queue
+	// the woken process, not start it while the caller still holds the
+	// scheduling state.
+	inProgram bool
+
+	finished bool
+}
+
+// New creates a kernel on the given engine. The engine must be at time 0.
+func New(eng *sim.Engine, cfg Config) (*Kernel, error) {
+	if eng == nil {
+		return nil, errors.New("kernel: nil engine")
+	}
+	if eng.Now() != 0 {
+		return nil, fmt.Errorf("kernel: engine already at %v", eng.Now())
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = sim.Quantum
+	}
+	if cfg.Quantum < 0 {
+		return nil, fmt.Errorf("kernel: negative quantum %v", cfg.Quantum)
+	}
+	if cfg.SchedOverhead < 0 || cfg.SchedOverhead >= cfg.Quantum {
+		return nil, fmt.Errorf("kernel: scheduler overhead %v out of range", cfg.SchedOverhead)
+	}
+	if !cfg.InitialStep.Valid() {
+		return nil, fmt.Errorf("kernel: invalid initial step %d", int(cfg.InitialStep))
+	}
+	if !cpu.VoltageOK(cfg.InitialStep, cfg.InitialV) {
+		return nil, fmt.Errorf("kernel: %v unsafe at %v", cfg.InitialV, cfg.InitialStep)
+	}
+	k := &Kernel{
+		eng:       eng,
+		cfg:       cfg,
+		nextPID:   1,
+		step:      cfg.InitialStep,
+		volt:      cfg.InitialV,
+		powerVolt: cfg.InitialV,
+	}
+	k.rec = power.NewRecorder(cfg.Model, power.State{
+		Step: k.step, V: k.powerVolt, Mode: power.ModeNap,
+	})
+	return k, nil
+}
+
+// Engine returns the simulation engine, for scheduling external events
+// (e.g. input-trace wakeups) against the same clock.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Step returns the current clock step.
+func (k *Kernel) Step() cpu.Step { return k.step }
+
+// Voltage returns the current core voltage.
+func (k *Kernel) Voltage() cpu.Voltage { return k.volt }
+
+// Recorder returns the power timeline. It is complete only after Run.
+func (k *Kernel) Recorder() *power.Recorder { return k.rec }
+
+// SchedLog returns the scheduler activity log.
+func (k *Kernel) SchedLog() []SchedEntry { return k.schedLog }
+
+// UtilLog returns the per-quantum utilization log.
+func (k *Kernel) UtilLog() []UtilSample { return k.utilLog }
+
+// SpeedChanges returns how many clock-step changes the policy made.
+func (k *Kernel) SpeedChanges() int { return k.speedChanges }
+
+// VoltageChanges returns how many core-voltage changes the policy made.
+func (k *Kernel) VoltageChanges() int { return k.voltChanges }
+
+// StallTime returns the total time lost to PLL relock stalls.
+func (k *Kernel) StallTime() sim.Duration { return k.stallTime }
+
+// Residency returns the time spent at each clock step.
+func (k *Kernel) Residency() [cpu.NumSteps]sim.Duration { return k.residency }
+
+// Processes returns all spawned processes (excluding the implicit idle
+// process).
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// Spawn creates a runnable process executing prog. It must be called before
+// or during Run, at the engine's current time.
+func (k *Kernel) Spawn(prog Program) (*Process, error) {
+	if prog == nil {
+		return nil, errors.New("kernel: nil program")
+	}
+	if k.finished {
+		return nil, errors.New("kernel: Spawn after Run completed")
+	}
+	p := &Process{pid: k.nextPID, name: prog.Name(), prog: prog, kind: ActSleepFor}
+	k.nextPID++
+	k.procs = append(k.procs, p)
+	// The process's first action is fetched when it is first scheduled.
+	p.state = StateRunnable
+	k.runq = append(k.runq, p)
+	if k.cur == nil && !k.stalling {
+		k.dispatch(k.eng.Now())
+	}
+	return p, nil
+}
+
+// Wake makes a waiting or sleeping process runnable, as an interrupt
+// delivering an input event would. Waking a runnable or exited process is a
+// no-op.
+func (k *Kernel) Wake(p *Process) {
+	if p == nil || (p.state != StateWaiting && p.state != StateSleeping) {
+		return
+	}
+	k.eng.Cancel(p.wake)
+	p.state = StateRunnable
+	k.runq = append(k.runq, p)
+	if k.cur == nil && !k.stalling && !k.inProgram {
+		k.account(k.eng.Now())
+		k.dispatch(k.eng.Now())
+	}
+}
+
+// Run executes the simulation until the given time, then closes the power
+// timeline. It may be called once.
+func (k *Kernel) Run(until sim.Time) error {
+	if k.finished {
+		return errors.New("kernel: Run called twice")
+	}
+	if until <= k.eng.Now() {
+		return fmt.Errorf("kernel: Run until %v is not in the future", until)
+	}
+	// Arm the periodic clock interrupt.
+	if _, err := k.eng.At(k.eng.Now()+k.cfg.Quantum, k.tick); err != nil {
+		return err
+	}
+	if k.cur == nil && !k.stalling {
+		k.dispatch(k.eng.Now())
+	}
+	k.eng.RunUntil(until)
+	k.account(until)
+	k.stampResidency(until)
+	k.rec.Finish(until)
+	k.finished = true
+	return nil
+}
+
+// --- internals ---
+
+// account attributes the time since lastAccount to the current activity:
+// busy time for a running process or a stall, progress for the running
+// action.
+func (k *Kernel) account(now sim.Time) {
+	dt := now - k.lastAccount
+	if dt <= 0 {
+		return
+	}
+	k.lastAccount = now
+	if k.stalling {
+		k.busyQuantum += dt
+		k.stallTime += dt
+		return
+	}
+	if k.cur != nil {
+		k.busyQuantum += dt
+		k.cur.advanceBy(dt, k.step)
+	}
+}
+
+func (k *Kernel) stampResidency(now sim.Time) {
+	k.residency[k.step] += now - k.lastResStamp
+	k.lastResStamp = now
+}
+
+// logDecision records one scheduling decision, honouring the configured
+// log capacity (the paper's kernel-memory limitation).
+func (k *Kernel) logDecision(e SchedEntry) {
+	if k.cfg.SchedLogCap > 0 && len(k.schedLog) >= k.cfg.SchedLogCap {
+		return
+	}
+	k.schedLog = append(k.schedLog, e)
+}
+
+// setPowerState pushes the current mode/step/voltage to the recorder.
+func (k *Kernel) setPowerState(now sim.Time) {
+	mode := power.ModeNap
+	switch {
+	case k.stalling:
+		mode = power.ModeStall
+	case k.cur != nil:
+		mode = power.ModeActive
+	}
+	k.rec.SetState(now, power.State{Step: k.step, V: k.powerVolt, Mode: mode})
+}
+
+// tick is the 100 Hz clock interrupt with the forced per-quantum scheduler
+// invocation: account utilization, run the policy module, then round-robin.
+func (k *Kernel) tick(now sim.Time) {
+	k.account(now)
+
+	// Charge the forced-rescheduling overhead as busy time.
+	k.busyQuantum += k.cfg.SchedOverhead
+
+	util := int(k.busyQuantum * 10000 / k.cfg.Quantum)
+	if util > 10000 {
+		util = 10000
+	}
+	k.utilLog = append(k.utilLog, UtilSample{At: now, PP10K: util, StepAt: k.step})
+	k.busyQuantum = 0
+
+	if k.cfg.Policy != nil {
+		s, v := k.cfg.Policy.OnQuantum(now, util, k.step, k.volt)
+		k.applySettings(now, s, v)
+	}
+
+	// Round-robin: the running process goes to the back of the queue.
+	if k.cur != nil {
+		k.eng.Cancel(k.completion)
+		p := k.cur
+		k.cur = nil
+		if p.actionDone(now) {
+			k.advanceProgram(p, now)
+		}
+		if p.state == StateRunnable {
+			k.runq = append(k.runq, p)
+		}
+	}
+	if !k.stalling {
+		k.dispatch(now)
+	}
+
+	// Re-arm the interrupt.
+	if _, err := k.eng.At(now+k.cfg.Quantum, k.tick); err != nil {
+		panic(err)
+	}
+}
+
+// applySettings moves the clock step and voltage, modelling the PLL stall
+// and the voltage settle.
+func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
+	s = s.Clamp()
+	if !cpu.VoltageOK(s, v) {
+		v = cpu.VHigh
+	}
+	if v != k.volt {
+		k.voltChanges++
+		old := k.volt
+		k.volt = v
+		if v == cpu.VLow && old == cpu.VHigh {
+			// Dropping: the rail stays high for the settle time.
+			if _, err := k.eng.At(now+cpu.VoltageSettleDown, func(t sim.Time) {
+				if k.volt == cpu.VLow {
+					k.powerVolt = cpu.VLow
+					k.setPowerState(t)
+				}
+			}); err != nil {
+				panic(err)
+			}
+		} else {
+			// Rising is effectively instantaneous.
+			k.powerVolt = v
+		}
+	}
+	if s != k.step {
+		k.speedChanges++
+		k.stampResidency(now)
+		k.step = s
+		k.beginStall(now)
+	}
+	k.setPowerState(now)
+}
+
+// beginStall suspends execution for the PLL relock time.
+func (k *Kernel) beginStall(now sim.Time) {
+	// Preempt whatever is running; progress stops during the stall.
+	if k.cur != nil {
+		k.eng.Cancel(k.completion)
+		p := k.cur
+		k.cur = nil
+		if p.state == StateRunnable {
+			k.runq = append(k.runq, p)
+		}
+	}
+	k.stalling = true
+	k.setPowerState(now)
+	if _, err := k.eng.At(now+cpu.ClockChangeStall, func(t sim.Time) {
+		k.account(t)
+		k.stalling = false
+		k.dispatch(t)
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// dispatch picks the next runnable process and starts it, or enters nap.
+// It must be called with no current process and no stall in progress.
+func (k *Kernel) dispatch(now sim.Time) {
+	for k.cur == nil {
+		if len(k.runq) == 0 {
+			// Idle: pid 0 runs and the power manager naps the core.
+			k.logDecision(SchedEntry{At: now, PID: 0, KHz: k.step.KHz()})
+			k.setPowerState(now)
+			return
+		}
+		p := k.runq[0]
+		k.runq = k.runq[1:]
+		if p.state != StateRunnable {
+			continue
+		}
+		if p.actionDone(now) {
+			k.advanceProgram(p, now)
+			if p.state != StateRunnable {
+				continue
+			}
+		}
+		k.cur = p
+		k.lastAccount = now
+		k.logDecision(SchedEntry{At: now, PID: p.pid, KHz: k.step.KHz()})
+		k.setPowerState(now)
+		k.armCompletion(p, now)
+	}
+}
+
+// armCompletion schedules the event marking the end of cur's action.
+func (k *Kernel) armCompletion(p *Process, now sim.Time) {
+	d := p.timeToFinish(now, k.step)
+	h, err := k.eng.At(now+d, func(t sim.Time) {
+		k.account(t)
+		if k.cur != p {
+			return // stale event; the process was preempted
+		}
+		k.cur = nil
+		k.advanceProgram(p, t)
+		if p.state == StateRunnable {
+			// Continue in the same quantum: the process keeps the CPU.
+			k.cur = p
+			k.lastAccount = t
+			k.setPowerState(t)
+			k.armCompletion(p, t)
+			return
+		}
+		k.dispatch(t)
+	})
+	if err != nil {
+		panic(err)
+	}
+	k.completion = h
+}
+
+// maxProgramSteps bounds how many zero-length actions a program may return
+// consecutively before the kernel declares it broken.
+const maxProgramSteps = 10000
+
+// advanceProgram fetches actions from p's program until one takes time or
+// blocks, updating the process state accordingly.
+func (k *Kernel) advanceProgram(p *Process, now sim.Time) {
+	wasInProgram := k.inProgram
+	k.inProgram = true
+	defer func() { k.inProgram = wasInProgram }()
+	for i := 0; ; i++ {
+		if i >= maxProgramSteps {
+			panic(fmt.Sprintf("kernel: program %q spins on zero-length actions", p.name))
+		}
+		a := p.prog.Next(now)
+		if a.SideEffect != nil {
+			a.SideEffect(now)
+		}
+		p.kind = a.Kind
+		switch a.Kind {
+		case ActCompute:
+			if a.Burst.Zero() {
+				continue
+			}
+			p.exec = cpu.NewExecution(a.Burst)
+			return
+		case ActComputeFor:
+			if a.Dur <= 0 {
+				continue
+			}
+			p.remaining = a.Dur
+			return
+		case ActSpinUntil:
+			if a.Until <= now {
+				continue
+			}
+			p.until = a.Until
+			return
+		case ActSleepFor:
+			if a.Dur <= 0 {
+				continue
+			}
+			k.sleepUntil(p, now+a.Dur)
+			return
+		case ActSleepUntil:
+			if a.Until <= now {
+				continue
+			}
+			k.sleepUntil(p, a.Until)
+			return
+		case ActWaitEvent:
+			p.state = StateWaiting
+			return
+		case ActExit:
+			p.state = StateExited
+			return
+		default:
+			panic(fmt.Sprintf("kernel: program %q returned unknown action %v", p.name, a.Kind))
+		}
+	}
+}
+
+func (k *Kernel) sleepUntil(p *Process, t sim.Time) {
+	p.state = StateSleeping
+	h, err := k.eng.At(t, func(sim.Time) {
+		if p.state == StateSleeping {
+			k.Wake(p)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	p.wake = h
+}

@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"fmt"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/sim"
+)
+
+// ProcState is a process's scheduling state.
+type ProcState int
+
+const (
+	// StateRunnable: on the run queue (or currently running).
+	StateRunnable ProcState = iota
+	// StateSleeping: blocked on a timer.
+	StateSleeping
+	// StateWaiting: blocked on an external event (Wake).
+	StateWaiting
+	// StateExited: terminated; never scheduled again.
+	StateExited
+)
+
+// String names the state.
+func (s ProcState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateSleeping:
+		return "sleeping"
+	case StateWaiting:
+		return "waiting"
+	case StateExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Process is one simulated task.
+type Process struct {
+	pid  int
+	name string
+	prog Program
+
+	state ProcState
+
+	// Current in-flight action.
+	kind      ActionKind
+	exec      *cpu.Execution // ActCompute
+	remaining sim.Duration   // ActComputeFor
+	until     sim.Time       // ActSpinUntil
+
+	wake sim.Handle // pending sleep timer, if any
+
+	// Accounting.
+	cpuTime sim.Duration // total busy time attributed to this process
+}
+
+// PID returns the process identifier; the idle process is 0.
+func (p *Process) PID() int { return p.pid }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// State returns the scheduling state.
+func (p *Process) State() ProcState { return p.state }
+
+// CPUTime returns the total processor time this process has consumed.
+func (p *Process) CPUTime() sim.Duration { return p.cpuTime }
+
+// timeToFinish reports how long the current action needs at the given step,
+// from time now. It returns 0 for a completed or non-running action.
+func (p *Process) timeToFinish(now sim.Time, s cpu.Step) sim.Duration {
+	switch p.kind {
+	case ActCompute:
+		return p.exec.TimeToFinish(s)
+	case ActComputeFor:
+		return p.remaining
+	case ActSpinUntil:
+		if p.until <= now {
+			return 0
+		}
+		return p.until - now
+	default:
+		return 0
+	}
+}
+
+// advanceBy credits dt of execution at step s to the current action.
+func (p *Process) advanceBy(dt sim.Duration, s cpu.Step) {
+	if dt <= 0 {
+		return
+	}
+	p.cpuTime += dt
+	switch p.kind {
+	case ActCompute:
+		p.exec.Advance(dt, s)
+	case ActComputeFor:
+		p.remaining -= dt
+		if p.remaining < 0 {
+			p.remaining = 0
+		}
+	case ActSpinUntil:
+		// Progress is the wall clock itself; nothing to track.
+	}
+}
+
+// actionDone reports whether the current action has completed at time now.
+func (p *Process) actionDone(now sim.Time) bool {
+	switch p.kind {
+	case ActCompute:
+		return p.exec == nil || p.exec.Done()
+	case ActComputeFor:
+		return p.remaining <= 0
+	case ActSpinUntil:
+		return p.until <= now
+	default:
+		return true
+	}
+}

@@ -1,0 +1,101 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clocksched/internal/sim"
+)
+
+// This file provides the analysis side of the paper's process-logging
+// facility (Section 4.3): "For each scheduling decision, we record the
+// process identifier of the process being scheduled, the time at which it
+// was scheduled (with microsecond resolution) and the current clock rate."
+// LogStats digests that log the way the paper's post-processing did to
+// produce the utilization plots and per-process breakdowns.
+
+// ProcessShare is one process's slice of the scheduler's attention.
+type ProcessShare struct {
+	PID       int
+	Name      string
+	Decisions int          // times the scheduler picked it
+	CPUTime   sim.Duration // busy time it accumulated
+}
+
+// LogStats summarizes a completed run's scheduler activity.
+type LogStats struct {
+	Decisions     int // total scheduling decisions, including idle picks
+	IdleDecisions int // times pid 0 (idle) was picked
+	Switches      int // decisions that changed the running pid
+	Shares        []ProcessShare
+	// RatesSeen lists the distinct clock rates (kHz) appearing in the
+	// log, ascending.
+	RatesSeen []int64
+}
+
+// AnalyzeLog digests the kernel's scheduler log and process table. It is
+// meaningful after Run.
+func (k *Kernel) AnalyzeLog() LogStats {
+	st := LogStats{}
+	rates := map[int64]bool{}
+	lastPID := -1
+	for _, e := range k.schedLog {
+		st.Decisions++
+		if e.PID == 0 {
+			st.IdleDecisions++
+		}
+		if e.PID != lastPID {
+			st.Switches++
+			lastPID = e.PID
+		}
+		rates[e.KHz] = true
+	}
+	byPID := map[int]*ProcessShare{}
+	for _, e := range k.schedLog {
+		if e.PID == 0 {
+			continue
+		}
+		if _, ok := byPID[e.PID]; !ok {
+			byPID[e.PID] = &ProcessShare{PID: e.PID}
+		}
+		byPID[e.PID].Decisions++
+	}
+	for _, p := range k.procs {
+		sh, ok := byPID[p.pid]
+		if !ok {
+			sh = &ProcessShare{PID: p.pid}
+			byPID[p.pid] = sh
+		}
+		sh.Name = p.name
+		sh.CPUTime = p.cpuTime
+	}
+	for _, sh := range byPID {
+		st.Shares = append(st.Shares, *sh)
+	}
+	sort.Slice(st.Shares, func(i, j int) bool { return st.Shares[i].PID < st.Shares[j].PID })
+	for r := range rates {
+		st.RatesSeen = append(st.RatesSeen, r)
+	}
+	sort.Slice(st.RatesSeen, func(i, j int) bool { return st.RatesSeen[i] < st.RatesSeen[j] })
+	return st
+}
+
+// Render formats the stats as a small report.
+func (s LogStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduler log: %d decisions (%d idle), %d context switches\n",
+		s.Decisions, s.IdleDecisions, s.Switches)
+	for _, sh := range s.Shares {
+		fmt.Fprintf(&b, "  pid %-3d %-14s %6d decisions  %v CPU\n",
+			sh.PID, sh.Name, sh.Decisions, sh.CPUTime)
+	}
+	if len(s.RatesSeen) > 0 {
+		fmt.Fprintf(&b, "  clock rates seen:")
+		for _, r := range s.RatesSeen {
+			fmt.Fprintf(&b, " %.1fMHz", float64(r)/1000)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

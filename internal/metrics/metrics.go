@@ -1,0 +1,107 @@
+// Package metrics collects the quality-of-service measures the paper judges
+// schedulers by: whether application deadlines were met ("we consider an
+// event to have occurred on time if delaying its completion did not
+// adversely affect the user"), how late misses were, and how unstable the
+// clock setting was.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"clocksched/internal/sim"
+)
+
+// Deadline is one timing obligation an application reported: work that was
+// due at Due and actually completed at Done.
+type Deadline struct {
+	Name string
+	Due  sim.Time
+	Done sim.Time
+}
+
+// Late returns how far past its due time the work completed (≤ 0 if on
+// time).
+func (d Deadline) Late() sim.Duration { return d.Done - d.Due }
+
+// Collector accumulates deadlines and derived statistics. The zero value is
+// ready to use.
+type Collector struct {
+	deadlines []Deadline
+}
+
+// Record notes one completed obligation.
+func (c *Collector) Record(name string, due, done sim.Time) {
+	c.deadlines = append(c.deadlines, Deadline{Name: name, Due: due, Done: done})
+}
+
+// Deadlines returns everything recorded.
+func (c *Collector) Deadlines() []Deadline { return c.deadlines }
+
+// Count returns the number of recorded deadlines.
+func (c *Collector) Count() int { return len(c.deadlines) }
+
+// Misses returns the obligations that completed more than slack after their
+// due time. The paper's inelastic-constraint assumption corresponds to a
+// small perceptual slack.
+func (c *Collector) Misses(slack sim.Duration) []Deadline {
+	var out []Deadline
+	for _, d := range c.deadlines {
+		if d.Late() > slack {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MissCount returns len(Misses(slack)).
+func (c *Collector) MissCount(slack sim.Duration) int { return len(c.Misses(slack)) }
+
+// MaxLateness returns the largest lateness observed (zero if everything was
+// early or nothing was recorded).
+func (c *Collector) MaxLateness() sim.Duration {
+	return c.MaxLatenessFor("")
+}
+
+// MaxLatenessFor returns the largest lateness among deadlines whose name
+// starts with prefix (all deadlines for the empty prefix). Zero if nothing
+// matched or everything was early.
+func (c *Collector) MaxLatenessFor(prefix string) sim.Duration {
+	var max sim.Duration
+	for _, d := range c.deadlines {
+		if !strings.HasPrefix(d.Name, prefix) {
+			continue
+		}
+		if l := d.Late(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Desync returns the difference between the worst lateness of two deadline
+// streams — the paper's audio/video synchronization measure: when the video
+// stream runs late while the audio stream stays on schedule, the clip is
+// audibly out of sync.
+func (c *Collector) Desync(prefixA, prefixB string) sim.Duration {
+	a := c.MaxLatenessFor(prefixA)
+	b := c.MaxLatenessFor(prefixB)
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// MissRate returns the fraction of deadlines missed by more than slack.
+func (c *Collector) MissRate(slack sim.Duration) float64 {
+	if len(c.deadlines) == 0 {
+		return 0
+	}
+	return float64(c.MissCount(slack)) / float64(len(c.deadlines))
+}
+
+// Summary formats the collector for reports.
+func (c *Collector) Summary(slack sim.Duration) string {
+	return fmt.Sprintf("%d deadlines, %d missed (slack %v), max lateness %v",
+		c.Count(), c.MissCount(slack), slack, c.MaxLateness())
+}

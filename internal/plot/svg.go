@@ -1,0 +1,182 @@
+// Package plot renders experiment series as standalone SVG line charts
+// using only the standard library, so the regenerated figures can actually
+// be looked at next to the paper's. The output is deliberately spartan —
+// axes, ticks, one polyline per series — in the spirit of the original
+// gnuplot figures.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Line is one named curve.
+type Line struct {
+	Name   string
+	Points []Point
+}
+
+// Chart describes a figure to render.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+	// Width and Height are the SVG dimensions in pixels; zero selects
+	// 640×400.
+	Width, Height int
+	// YMin/YMax fix the vertical range; when both are zero the range is
+	// fitted to the data with 5% headroom.
+	YMin, YMax float64
+}
+
+// Palette for successive lines (color-blind-safe-ish hues).
+var strokes = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+const (
+	marginLeft   = 60
+	marginRight  = 15
+	marginTop    = 30
+	marginBottom = 45
+	ticks        = 5
+)
+
+// SVG renders the chart.
+func SVG(c Chart) (string, error) {
+	if len(c.Lines) == 0 {
+		return "", errors.New("plot: no lines")
+	}
+	for _, l := range c.Lines {
+		if len(l.Points) == 0 {
+			return "", fmt.Errorf("plot: line %q has no points", l.Name)
+		}
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 400
+	}
+	if w < marginLeft+marginRight+50 || h < marginTop+marginBottom+50 {
+		return "", fmt.Errorf("plot: dimensions %dx%d too small", w, h)
+	}
+
+	// Data ranges.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, l := range c.Lines {
+		for _, p := range l.Points {
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		yMin, yMax = c.YMin, c.YMax
+	} else {
+		pad := (yMax - yMin) * 0.05
+		if pad == 0 {
+			pad = math.Abs(yMax)*0.05 + 0.001
+		}
+		yMin -= pad
+		yMax += pad
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		return "", fmt.Errorf("plot: empty y range [%v, %v]", yMin, yMax)
+	}
+
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	px := func(x float64) float64 { return marginLeft + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginTop + (1-(y-yMin)/(yMax-yMin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		w/2, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<g stroke="black" stroke-width="1">`+"\n")
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+		marginLeft, marginTop, marginLeft, h-marginBottom)
+	b.WriteString("</g>\n")
+
+	// Ticks and grid.
+	b.WriteString(`<g font-family="sans-serif" font-size="10" fill="black">` + "\n")
+	for i := 0; i <= ticks; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/ticks
+		fy := yMin + (yMax-yMin)*float64(i)/ticks
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			px(fx), h-marginBottom+15, formatTick(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py(fy)+3, formatTick(fy))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#dddddd"/>`+"\n",
+			px(fx), marginTop, px(fx), h-marginBottom)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, py(fy), w-marginRight, py(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="11">%s</text>`+"\n",
+		w/2, h-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" font-size="11" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		h/2, h/2, escape(c.YLabel))
+	b.WriteString("</g>\n")
+
+	// Curves.
+	for i, l := range c.Lines {
+		color := strokes[i%len(strokes)]
+		var pts strings.Builder
+		for _, p := range l.Points {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", px(p.X), py(clamp(p.Y, yMin, yMax)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.TrimSpace(pts.String()))
+		if len(c.Lines) > 1 {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n",
+				w-marginRight-150, marginTop+14*(i+1), color, escape(l.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

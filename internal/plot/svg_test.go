@@ -1,0 +1,142 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func chart() Chart {
+	return Chart{
+		Title:  "Figure 9: utilization vs clock",
+		XLabel: "MHz",
+		YLabel: "utilization (%)",
+		Lines: []Line{{
+			Name: "mpeg",
+			Points: []Point{
+				{59, 100}, {132.7, 92}, {162.2, 75.5}, {176.9, 76}, {206.4, 70},
+			},
+		}},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out, err := SVG(chart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML end to end.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "Figure 9", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSVGMultipleLinesGetLegend(t *testing.T) {
+	c := chart()
+	c.Lines = append(c.Lines, Line{Name: "web", Points: []Point{{59, 10}, {206.4, 20}}})
+	out, err := SVG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ">mpeg</text>") || !strings.Contains(out, ">web</text>") {
+		t.Error("legend entries missing for multi-line chart")
+	}
+	// Distinct stroke colors.
+	if !strings.Contains(out, strokes[0]) || !strings.Contains(out, strokes[1]) {
+		t.Error("distinct colors missing")
+	}
+}
+
+func TestSVGSingleLineNoLegend(t *testing.T) {
+	out, _ := SVG(chart())
+	if strings.Contains(out, ">mpeg</text>") {
+		t.Error("single-line chart should not draw a legend")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := SVG(Chart{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := chart()
+	c.Lines[0].Points = nil
+	if _, err := SVG(c); err == nil {
+		t.Error("empty line accepted")
+	}
+	c = chart()
+	c.Width, c.Height = 10, 10
+	if _, err := SVG(c); err == nil {
+		t.Error("tiny dimensions accepted")
+	}
+	c = chart()
+	c.YMin, c.YMax = 10, 10 // empty fixed range is not distinguishable from unset 0,0? use inverted
+	c.YMin, c.YMax = 10, 5
+	if _, err := SVG(c); err == nil {
+		t.Error("inverted y range accepted")
+	}
+}
+
+func TestSVGFixedRangeClamps(t *testing.T) {
+	c := chart()
+	c.YMin, c.YMax = 0, 50 // data exceeds the range; points must clamp
+	out, err := SVG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "polyline") {
+		t.Error("no polyline with fixed range")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := Chart{Title: "flat", Lines: []Line{{
+		Name:   "flat",
+		Points: []Point{{0, 5}, {1, 5}, {2, 5}},
+	}}}
+	if _, err := SVG(c); err != nil {
+		t.Fatalf("constant series failed: %v", err)
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := chart()
+	c.Title = `<script>&"attack"</script>`
+	out, err := SVG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>") {
+		t.Error("markup not escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5",
+		1500:    "1.5e+03",
+		15000:   "15k",
+		2500000: "2.5M",
+		-15000:  "-15k",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"clocksched/internal/cpu"
+)
+
+// Shared step aliases for readability in tests.
+const (
+	stepMin    = cpu.MinStep
+	stepMax    = cpu.MaxStep
+	cpuStepMid = cpu.Step(5) // 132.7 MHz
+)
+
+func TestSpeedSetterOne(t *testing.T) {
+	var s One
+	if s.Up(cpuStepMid) != cpuStepMid+1 || s.Down(cpuStepMid) != cpuStepMid-1 {
+		t.Error("one setter did not move a single step")
+	}
+	if s.Up(stepMax) != stepMax {
+		t.Error("one setter overflowed the top step")
+	}
+	if s.Down(stepMin) != stepMin {
+		t.Error("one setter underflowed the bottom step")
+	}
+	if s.Name() != "one" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSpeedSetterDouble(t *testing.T) {
+	var s Double
+	// "we increment the clock index value before doubling it": 0 → 2.
+	if got := s.Up(0); got != 2 {
+		t.Errorf("double.Up(0) = %v, want 2", got)
+	}
+	if got := s.Up(2); got != 6 {
+		t.Errorf("double.Up(2) = %v, want 6", got)
+	}
+	if got := s.Up(stepMax); got != stepMax {
+		t.Errorf("double.Up(max) = %v", got)
+	}
+	// Down inverts Up where possible.
+	if got := s.Down(2); got != 0 {
+		t.Errorf("double.Down(2) = %v, want 0", got)
+	}
+	if got := s.Down(6); got != 2 {
+		t.Errorf("double.Down(6) = %v, want 2", got)
+	}
+	if got := s.Down(0); got != 0 {
+		t.Errorf("double.Down(0) = %v, want 0", got)
+	}
+	if s.Name() != "double" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSpeedSetterPeg(t *testing.T) {
+	var s Peg
+	for st := stepMin; st <= stepMax; st++ {
+		if s.Up(st) != stepMax {
+			t.Fatalf("peg.Up(%v) != max", st)
+		}
+		if s.Down(st) != stepMin {
+			t.Fatalf("peg.Down(%v) != min", st)
+		}
+	}
+	if s.Name() != "peg" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSetterByName(t *testing.T) {
+	for _, name := range []string{"one", "double", "peg"} {
+		s, ok := SetterByName(name)
+		if !ok || s.Name() != name {
+			t.Errorf("SetterByName(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if _, ok := SetterByName("warp"); ok {
+		t.Error("unknown setter accepted")
+	}
+}
+
+func TestBoundsValidate(t *testing.T) {
+	for _, b := range []Bounds{{-1, 5000}, {5000, 10001}, {8000, 7000}} {
+		if b.Validate() == nil {
+			t.Errorf("bounds %+v accepted", b)
+		}
+	}
+	if PeringBounds.Validate() != nil || BestBounds.Validate() != nil {
+		t.Error("canonical bounds rejected")
+	}
+	if PeringBounds != (Bounds{5000, 7000}) {
+		t.Errorf("PeringBounds = %+v, want 50%%/70%%", PeringBounds)
+	}
+	if BestBounds != (Bounds{9300, 9800}) {
+		t.Errorf("BestBounds = %+v, want 93%%/98%%", BestBounds)
+	}
+}
+
+func TestNewGovernorValidation(t *testing.T) {
+	if _, err := NewGovernor(nil, One{}, One{}, PeringBounds, false); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	if _, err := NewGovernor(NewPAST(), nil, One{}, PeringBounds, false); err == nil {
+		t.Error("nil up setter accepted")
+	}
+	if _, err := NewGovernor(NewPAST(), One{}, nil, PeringBounds, false); err == nil {
+		t.Error("nil down setter accepted")
+	}
+	if _, err := NewGovernor(NewPAST(), One{}, One{}, Bounds{9, 2}, false); err == nil {
+		t.Error("bad bounds accepted")
+	}
+}
+
+func TestMustGovernorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGovernor with bad input did not panic")
+		}
+	}()
+	MustGovernor(nil, One{}, One{}, PeringBounds, false)
+}
+
+func TestGovernorHysteresis(t *testing.T) {
+	g := MustGovernor(NewPAST(), One{}, One{}, PeringBounds, false)
+	// Above Hi → up.
+	d := g.Decide(8000, cpuStepMid)
+	if !d.ScaledUp || d.Step != cpuStepMid+1 {
+		t.Errorf("Decide(80%%) = %+v, want scale-up", d)
+	}
+	// Inside the dead band → hold.
+	d = g.Decide(6000, cpuStepMid)
+	if d.ScaledUp || d.ScaledDn || d.Step != cpuStepMid {
+		t.Errorf("Decide(60%%) = %+v, want hold", d)
+	}
+	// Below Lo → down.
+	d = g.Decide(2000, cpuStepMid)
+	if !d.ScaledDn || d.Step != cpuStepMid-1 {
+		t.Errorf("Decide(20%%) = %+v, want scale-down", d)
+	}
+	// Boundary values hold: the comparisons are strict.
+	d = g.Decide(7000, cpuStepMid)
+	if d.Step != cpuStepMid {
+		t.Errorf("Decide(=Hi) moved to %v", d.Step)
+	}
+	d = g.Decide(5000, cpuStepMid)
+	if d.Step != cpuStepMid {
+		t.Errorf("Decide(=Lo) moved to %v", d.Step)
+	}
+}
+
+func TestGovernorBestPolicyPegsBetweenExtremes(t *testing.T) {
+	// The paper's best policy (PAST, peg-peg, 93/98) "only selects 59 MHz
+	// or 206 MHz clock settings".
+	g := MustGovernor(NewPAST(), Peg{}, Peg{}, BestBounds, false)
+	cur := cpuStepMid
+	seen := map[cpu.Step]bool{}
+	utils := []int{10000, 9900, 9000, 500, 10000, 9400, 9790, 9850, 0, 10000}
+	for _, u := range utils {
+		d := g.Decide(u, cur)
+		cur = d.Step
+		seen[cur] = true
+	}
+	for s := range seen {
+		if s != stepMin && s != stepMax && s != cpuStepMid {
+			t.Errorf("peg-peg governor visited intermediate step %v", s)
+		}
+	}
+	if !seen[stepMin] || !seen[stepMax] {
+		t.Error("peg-peg governor never reached both extremes")
+	}
+}
+
+func TestGovernorVoltageScaling(t *testing.T) {
+	g := MustGovernor(NewPAST(), Peg{}, Peg{}, BestBounds, true)
+	// Scale down: 59 MHz allows 1.23 V.
+	d := g.Decide(0, stepMax)
+	if d.Step != stepMin || d.V != cpu.VLow {
+		t.Errorf("scale-down decision = %+v, want 59MHz @ 1.23V", d)
+	}
+	// Scale up: 206.4 MHz demands 1.5 V.
+	d = g.Decide(10000, stepMin)
+	if d.Step != stepMax || d.V != cpu.VHigh {
+		t.Errorf("scale-up decision = %+v, want 206.4MHz @ 1.5V", d)
+	}
+}
+
+func TestGovernorNoVoltageScalingStaysHigh(t *testing.T) {
+	g := MustGovernor(NewPAST(), Peg{}, Peg{}, BestBounds, false)
+	d := g.Decide(0, stepMax)
+	if d.V != cpu.VHigh {
+		t.Errorf("voltage = %v with scaling disabled", d.V)
+	}
+}
+
+func TestGovernorScaleCountsAndReset(t *testing.T) {
+	g := MustGovernor(NewPAST(), Peg{}, Peg{}, PeringBounds, false)
+	g.Decide(10000, stepMin) // up
+	g.Decide(0, stepMax)     // down
+	g.Decide(10000, stepMax) // up decision but already at max: no change
+	up, down := g.ScaleCounts()
+	if up != 1 || down != 1 {
+		t.Errorf("ScaleCounts = %d, %d; want 1, 1", up, down)
+	}
+	g.Reset()
+	up, down = g.ScaleCounts()
+	if up != 0 || down != 0 {
+		t.Error("Reset did not clear counts")
+	}
+}
+
+func TestGovernorOnQuantum(t *testing.T) {
+	g := MustGovernor(NewPAST(), Peg{}, Peg{}, BestBounds, true)
+	s, v := g.OnQuantum(0, 10000, stepMin, cpu.VHigh)
+	if s != stepMax || v != cpu.VHigh {
+		t.Errorf("OnQuantum = %v, %v", s, v)
+	}
+	s, v = g.OnQuantum(10000, 100, s, v)
+	if s != stepMin || v != cpu.VLow {
+		t.Errorf("OnQuantum = %v, %v, want 59MHz @ 1.23V", s, v)
+	}
+}
+
+func TestGovernorName(t *testing.T) {
+	g := MustGovernor(NewPAST(), Peg{}, Peg{}, BestBounds, false)
+	want := "PAST, peg-peg, 93%-98%"
+	if g.Name() != want {
+		t.Errorf("Name = %q, want %q", g.Name(), want)
+	}
+	gv := MustGovernor(NewAvgN(9), One{}, Double{}, PeringBounds, true)
+	if !strings.Contains(gv.Name(), "AVG_9") || !strings.Contains(gv.Name(), "voltage scaling") {
+		t.Errorf("Name = %q", gv.Name())
+	}
+}
+
+func TestConstantPolicy(t *testing.T) {
+	c := Constant{S: cpuStepMid, V: cpu.VLow}
+	s, v := c.OnQuantum(0, 10000, stepMax, cpu.VHigh)
+	if s != cpuStepMid || v != cpu.VLow {
+		t.Errorf("constant policy moved: %v, %v", s, v)
+	}
+	if c.Name() != "Constant Speed @ 132.7MHz, 1.23V" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}

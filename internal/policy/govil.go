@@ -1,0 +1,320 @@
+package policy
+
+// This file implements the predictor family of Govil, Chan and Wasserman
+// ("Comparing algorithms for dynamic speed-setting of a low-power CPU",
+// MobiCom 1995), which the paper discusses as the broadest prior study of
+// interval heuristics. Where the published descriptions under-specify
+// details, the implementations follow the stated intent and say so. All of
+// them plug into the same Governor as PAST/AVG_N.
+
+import (
+	"fmt"
+)
+
+// Flat always predicts the same utilization — Govil's FLAT policy, which
+// "tries to smooth the speed to a global average": paired with tight
+// bounds it pins the clock at one level regardless of behaviour.
+type Flat struct {
+	// Target is the constant prediction, PP10K.
+	Target int
+}
+
+// NewFlat returns a FLAT predictor. The target is clamped into range.
+func NewFlat(target int) *Flat { return &Flat{Target: clampUtil(target)} }
+
+// Observe implements Predictor.
+func (f *Flat) Observe(int) int { return f.Target }
+
+// Weighted implements Predictor.
+func (f *Flat) Weighted() int { return f.Target }
+
+// Reset implements Predictor.
+func (f *Flat) Reset() {}
+
+// Name implements Predictor.
+func (f *Flat) Name() string { return fmt.Sprintf("FLAT_%d", f.Target/100) }
+
+// LongShort combines a long-term and a short-term window average,
+// weighting the short term more heavily (3:1, per Govil's description of
+// favouring recent behaviour while remembering the longer trend).
+type LongShort struct {
+	long, short *SimpleWindow
+}
+
+// Default window sizes: 12 quanta of history against the last 3.
+const (
+	longWindow  = 12
+	shortWindow = 3
+)
+
+// NewLongShort returns the LONG_SHORT predictor with the standard windows.
+func NewLongShort() *LongShort {
+	return &LongShort{
+		long:  NewSimpleWindow(longWindow),
+		short: NewSimpleWindow(shortWindow),
+	}
+}
+
+// Observe implements Predictor.
+func (l *LongShort) Observe(util int) int {
+	l.long.Observe(util)
+	l.short.Observe(util)
+	return l.Weighted()
+}
+
+// Weighted implements Predictor: (3·short + long) / 4.
+func (l *LongShort) Weighted() int {
+	return (3*l.short.Weighted() + l.long.Weighted()) / 4
+}
+
+// Reset implements Predictor.
+func (l *LongShort) Reset() {
+	l.long.Reset()
+	l.short.Reset()
+}
+
+// Name implements Predictor.
+func (l *LongShort) Name() string { return "LONG_SHORT" }
+
+// history is a small ring of recent utilizations shared by the
+// pattern-matching predictors.
+type history struct {
+	buf []int
+	n   int // total observations
+}
+
+func newHistory(size int) *history { return &history{buf: make([]int, size)} }
+
+func (h *history) add(u int) {
+	h.buf[h.n%len(h.buf)] = u
+	h.n++
+}
+
+// at returns the utilization observed i steps ago (0 = most recent). It
+// reports false when the history does not reach that far.
+func (h *history) at(i int) (int, bool) {
+	if i < 0 || i >= len(h.buf) || i >= h.n {
+		return 0, false
+	}
+	return h.buf[(h.n-1-i)%len(h.buf)], true
+}
+
+func (h *history) len() int {
+	if h.n < len(h.buf) {
+		return h.n
+	}
+	return len(h.buf)
+}
+
+// Cycle looks for a periodic cycle in the recent quanta and, when one
+// explains the window well, predicts the next quantum from the
+// corresponding phase of the cycle; otherwise it falls back to an AVG
+// estimate. This targets exactly the workloads of Section 5.3: periodic
+// demand that AVG_N can only smear.
+type Cycle struct {
+	hist     *history
+	fallback *AvgN
+	// MaxPeriod bounds the cycle lengths tried (2..MaxPeriod).
+	MaxPeriod int
+	// Tolerance is the mean absolute per-quantum mismatch (PP10K) below
+	// which a candidate period is accepted.
+	Tolerance int
+
+	lastPrediction int
+	// Detected reports the period found on the last observation, 0 if
+	// none.
+	Detected int
+}
+
+// NewCycle returns a CYCLE predictor with a 32-quantum window, periods up
+// to 16, and a 5-point tolerance.
+func NewCycle() *Cycle {
+	return &Cycle{
+		hist:      newHistory(32),
+		fallback:  NewAvgN(3),
+		MaxPeriod: 16,
+		Tolerance: 500,
+	}
+}
+
+// Observe implements Predictor.
+func (c *Cycle) Observe(util int) int {
+	u := clampUtil(util)
+	c.hist.add(u)
+	c.fallback.Observe(u)
+	c.Detected = c.detect()
+	if c.Detected == 0 {
+		c.lastPrediction = c.fallback.Weighted()
+		return c.lastPrediction
+	}
+	// The next quantum repeats the value one period back in the cycle:
+	// the sample (period-1) steps before the most recent one.
+	v, ok := c.hist.at(c.Detected - 1)
+	if !ok {
+		c.lastPrediction = c.fallback.Weighted()
+		return c.lastPrediction
+	}
+	c.lastPrediction = v
+	return v
+}
+
+// detect returns the shortest period that explains the window within
+// tolerance, or 0.
+func (c *Cycle) detect() int {
+	n := c.hist.len()
+	for period := 2; period <= c.MaxPeriod; period++ {
+		// Need at least three repetitions to believe a cycle.
+		if n < 3*period {
+			continue
+		}
+		var err, count int
+		for i := 0; i+period < n; i++ {
+			a, _ := c.hist.at(i)
+			b, _ := c.hist.at(i + period)
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			err += d
+			count++
+		}
+		if count > 0 && err/count <= c.Tolerance {
+			return period
+		}
+	}
+	return 0
+}
+
+// Weighted implements Predictor.
+func (c *Cycle) Weighted() int { return c.lastPrediction }
+
+// Reset implements Predictor.
+func (c *Cycle) Reset() {
+	c.hist = newHistory(len(c.hist.buf))
+	c.fallback.Reset()
+	c.lastPrediction = 0
+	c.Detected = 0
+}
+
+// Name implements Predictor.
+func (c *Cycle) Name() string { return "CYCLE" }
+
+// Pattern searches the recent history for the most recent earlier
+// occurrence of the last few quanta and predicts the value that followed
+// it — Govil's generalization of CYCLE to non-periodic but recurring
+// behaviour.
+type Pattern struct {
+	hist     *history
+	fallback *AvgN
+	// Length is the pattern length matched.
+	Length int
+	// Tolerance is the per-quantum mismatch allowed within a match.
+	Tolerance int
+
+	lastPrediction int
+	// Matched reports whether the last observation found a pattern.
+	Matched bool
+}
+
+// NewPattern returns a PATTERN predictor with a 32-quantum window,
+// 4-quantum patterns, and a 5-point tolerance.
+func NewPattern() *Pattern {
+	return &Pattern{
+		hist:      newHistory(32),
+		fallback:  NewAvgN(3),
+		Length:    4,
+		Tolerance: 500,
+	}
+}
+
+// Observe implements Predictor.
+func (p *Pattern) Observe(util int) int {
+	u := clampUtil(util)
+	p.hist.add(u)
+	p.fallback.Observe(u)
+	p.Matched = false
+	n := p.hist.len()
+	// Slide back through history looking for the most recent earlier
+	// match of the final Length quanta.
+	for shift := 1; shift+p.Length < n; shift++ {
+		ok := true
+		for i := 0; i < p.Length; i++ {
+			a, _ := p.hist.at(i)
+			b, okB := p.hist.at(i + shift)
+			if !okB {
+				ok = false
+				break
+			}
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			if d > p.Tolerance {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// The value that followed the earlier occurrence.
+		v, okV := p.hist.at(shift - 1)
+		if !okV {
+			break
+		}
+		p.Matched = true
+		p.lastPrediction = v
+		return v
+	}
+	p.lastPrediction = p.fallback.Weighted()
+	return p.lastPrediction
+}
+
+// Weighted implements Predictor.
+func (p *Pattern) Weighted() int { return p.lastPrediction }
+
+// Reset implements Predictor.
+func (p *Pattern) Reset() {
+	p.hist = newHistory(len(p.hist.buf))
+	p.fallback.Reset()
+	p.lastPrediction = 0
+	p.Matched = false
+}
+
+// Name implements Predictor.
+func (p *Pattern) Name() string { return "PATTERN" }
+
+// Peak encodes Govil's narrow-peaks heuristic: utilization spikes tend to
+// be narrow, so a rise predicts an imminent fall back to the pre-rise
+// level, while falling or steady utilization predicts itself.
+type Peak struct {
+	prev, cur      int
+	seen           int
+	lastPrediction int
+}
+
+// NewPeak returns a PEAK predictor.
+func NewPeak() *Peak { return &Peak{} }
+
+// Observe implements Predictor.
+func (p *Peak) Observe(util int) int {
+	u := clampUtil(util)
+	p.prev, p.cur = p.cur, u
+	p.seen++
+	if p.seen >= 2 && p.cur > p.prev {
+		// Rising: expect the peak to be narrow and fall back.
+		p.lastPrediction = p.prev
+	} else {
+		p.lastPrediction = p.cur
+	}
+	return p.lastPrediction
+}
+
+// Weighted implements Predictor.
+func (p *Peak) Weighted() int { return p.lastPrediction }
+
+// Reset implements Predictor.
+func (p *Peak) Reset() { *p = Peak{} }
+
+// Name implements Predictor.
+func (p *Peak) Name() string { return "PEAK" }

@@ -1,0 +1,274 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlatAlwaysPredictsTarget(t *testing.T) {
+	f := NewFlat(6500)
+	for _, u := range []int{0, 10000, 3000} {
+		if got := f.Observe(u); got != 6500 {
+			t.Errorf("Observe(%d) = %d", u, got)
+		}
+	}
+	if f.Weighted() != 6500 {
+		t.Error("Weighted drifted")
+	}
+	f.Reset()
+	if f.Weighted() != 6500 {
+		t.Error("Reset changed the target")
+	}
+	if f.Name() != "FLAT_65" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if NewFlat(99999).Target != FullUtil {
+		t.Error("target not clamped")
+	}
+}
+
+func TestLongShortRespondsBetweenItsWindows(t *testing.T) {
+	// After a step from idle to busy, LONG_SHORT's estimate sits between
+	// a pure 3-quantum average and a pure 12-quantum average.
+	ls := NewLongShort()
+	long := NewSimpleWindow(longWindow)
+	short := NewSimpleWindow(shortWindow)
+	for i := 0; i < longWindow; i++ {
+		ls.Observe(0)
+		long.Observe(0)
+		short.Observe(0)
+	}
+	for i := 0; i < 3; i++ {
+		ls.Observe(FullUtil)
+		long.Observe(FullUtil)
+		short.Observe(FullUtil)
+	}
+	got := ls.Weighted()
+	if !(got > long.Weighted() && got <= short.Weighted()) {
+		t.Errorf("LONG_SHORT = %d, long = %d, short = %d",
+			got, long.Weighted(), short.Weighted())
+	}
+	if ls.Name() != "LONG_SHORT" {
+		t.Errorf("Name = %q", ls.Name())
+	}
+	ls.Reset()
+	if ls.Weighted() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCycleDetectsPeriodicWave(t *testing.T) {
+	// The Section 5.3 nemesis: a 9-busy/1-idle wave. CYCLE should find
+	// the period and predict the idle quantum coming.
+	c := NewCycle()
+	var predictions []int
+	var actual []int
+	for i := 0; i < 60; i++ {
+		u := FullUtil
+		if i%10 == 9 {
+			u = 0
+		}
+		if i > 0 {
+			actual = append(actual, u)
+		}
+		pred := c.Observe(u)
+		if i < 59 {
+			predictions = append(predictions, pred)
+		}
+	}
+	if c.Detected == 0 {
+		t.Fatal("no cycle detected in a perfectly periodic wave")
+	}
+	// Score the tail predictions (after warm-up): CYCLE must beat AVG_3
+	// by predicting the idle dips.
+	errCycle := 0
+	for i := 40; i < len(predictions); i++ {
+		d := predictions[i] - actual[i]
+		if d < 0 {
+			d = -d
+		}
+		errCycle += d
+	}
+	avg := NewAvgN(3)
+	errAvg := 0
+	for i := 0; i < 59; i++ {
+		u := FullUtil
+		if i%10 == 9 {
+			u = 0
+		}
+		pred := avg.Observe(u)
+		if i >= 40 {
+			next := FullUtil
+			if (i+1)%10 == 9 {
+				next = 0
+			}
+			d := pred - next
+			if d < 0 {
+				d = -d
+			}
+			errAvg += d
+		}
+	}
+	if errCycle >= errAvg {
+		t.Errorf("CYCLE error %d not below AVG_3 error %d on a periodic wave",
+			errCycle, errAvg)
+	}
+}
+
+func TestCycleFallsBackOnNoise(t *testing.T) {
+	c := NewCycle()
+	rng := newTestRNG()
+	for i := 0; i < 60; i++ {
+		c.Observe(int(rng.next() % (FullUtil + 1)))
+	}
+	// Detection of long exact cycles in noise is astronomically
+	// unlikely; the predictor must report the fallback's estimate.
+	if c.Detected != 0 {
+		t.Errorf("detected period %d in noise", c.Detected)
+	}
+}
+
+func TestCycleReset(t *testing.T) {
+	c := NewCycle()
+	for i := 0; i < 40; i++ {
+		u := 0
+		if i%2 == 0 {
+			u = FullUtil
+		}
+		c.Observe(u)
+	}
+	c.Reset()
+	if c.Weighted() != 0 || c.Detected != 0 {
+		t.Error("Reset incomplete")
+	}
+	if c.Name() != "CYCLE" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestPatternRecallsRepeatedSequence(t *testing.T) {
+	// A repeating motif long enough to exceed CYCLE-style periods:
+	// after seeing the motif twice, the 4-quantum suffix match should
+	// predict the next element correctly.
+	motif := []int{10000, 8000, 2000, 0, 4000, 10000, 6000, 1000}
+	p := NewPattern()
+	hits, total := 0, 0
+	for rep := 0; rep < 4; rep++ {
+		for i, u := range motif {
+			pred := p.Observe(u)
+			if rep >= 2 {
+				next := motif[(i+1)%len(motif)]
+				total++
+				d := pred - next
+				if d < 0 {
+					d = -d
+				}
+				if d <= 500 {
+					hits++
+				}
+			}
+		}
+	}
+	if hits*2 < total {
+		t.Errorf("pattern matcher hit only %d/%d predictions", hits, total)
+	}
+}
+
+func TestPatternFallsBackWithoutHistory(t *testing.T) {
+	p := NewPattern()
+	if got := p.Observe(4000); p.Matched {
+		t.Errorf("matched on first observation (pred %d)", got)
+	}
+	p.Reset()
+	if p.Weighted() != 0 || p.Matched {
+		t.Error("Reset incomplete")
+	}
+	if p.Name() != "PATTERN" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPeakHeuristic(t *testing.T) {
+	p := NewPeak()
+	p.Observe(2000)
+	// Rising: predict retreat to the pre-rise level.
+	if got := p.Observe(9000); got != 2000 {
+		t.Errorf("rising prediction = %d, want 2000", got)
+	}
+	// Falling: predict the current level.
+	if got := p.Observe(1000); got != 1000 {
+		t.Errorf("falling prediction = %d, want 1000", got)
+	}
+	// Steady: predict itself.
+	if got := p.Observe(1000); got != 1000 {
+		t.Errorf("steady prediction = %d, want 1000", got)
+	}
+	p.Reset()
+	if p.Weighted() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if p.Name() != "PEAK" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPeakFirstObservationIsItself(t *testing.T) {
+	p := NewPeak()
+	if got := p.Observe(7000); got != 7000 {
+		t.Errorf("first prediction = %d, want 7000", got)
+	}
+}
+
+// All Govil predictors stay within [0, FullUtil] on arbitrary input.
+func TestGovilPredictorsBoundedProperty(t *testing.T) {
+	f := func(inputs []int16) bool {
+		preds := []Predictor{
+			NewFlat(7000), NewLongShort(), NewCycle(), NewPattern(), NewPeak(),
+		}
+		for _, p := range preds {
+			for _, in := range inputs {
+				w := p.Observe(int(in))
+				if w < 0 || w > FullUtil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Govil predictors compose with the Governor like any other predictor.
+func TestGovilPredictorsInGovernor(t *testing.T) {
+	for _, pred := range []Predictor{NewLongShort(), NewCycle(), NewPattern(), NewPeak()} {
+		g := MustGovernor(pred, Peg{}, Peg{}, PeringBounds, false)
+		cur := cpuStepMid
+		for i := 0; i < 50; i++ {
+			u := 0
+			if i%2 == 0 {
+				u = FullUtil
+			}
+			d := g.Decide(u, cur)
+			if !d.Step.Valid() {
+				t.Fatalf("%s produced invalid step", pred.Name())
+			}
+			cur = d.Step
+		}
+	}
+}
+
+// testRNG is a tiny deterministic generator local to the tests (the
+// policy package cannot import internal/sim's RNG without an import cycle
+// in some configurations, and the tests only need noise).
+type testRNG struct{ state uint64 }
+
+func newTestRNG() *testRNG { return &testRNG{state: 88172645463325252} }
+
+func (r *testRNG) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}

@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the offline trace algorithms of Weiser et al. that
+// the paper discusses as un-implementable baselines: OPT and FUTURE. They
+// operate on a recorded per-interval utilization trace (fractions of a
+// fully-busy interval at full speed) and produce a relative speed for each
+// interval, 0 < speed ≤ 1. They exist to reproduce the related-work
+// comparison and for ablation benchmarks; a real kernel cannot run them
+// because they use future information.
+
+// ErrEmptyTrace is returned for empty utilization traces.
+var ErrEmptyTrace = errors.New("policy: empty utilization trace")
+
+func validateTrace(util []float64) error {
+	if len(util) == 0 {
+		return ErrEmptyTrace
+	}
+	for i, u := range util {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("policy: trace utilization[%d] = %v out of [0,1]", i, u)
+		}
+	}
+	return nil
+}
+
+func validateFloor(minSpeed float64) error {
+	if minSpeed <= 0 || minSpeed > 1 {
+		return fmt.Errorf("policy: bad minimum speed %v", minSpeed)
+	}
+	return nil
+}
+
+// OptSpeeds implements Weiser's OPT: with perfect future knowledge and the
+// freedom to delay work arbitrarily (all deadlines at trace end), the
+// energy-minimal schedule "perfectly stretches" computation into idle
+// periods. Work cannot be done before it arrives, so the optimal cumulative
+// service curve is the taut string pulled from (0,0) to (n, total work)
+// beneath the arrival curve — the lower convex hull of the cumulative
+// demand — and the per-interval speeds are its slopes. A floor keeps each
+// speed positive.
+func OptSpeeds(util []float64, minSpeed float64) ([]float64, error) {
+	if err := validateTrace(util); err != nil {
+		return nil, err
+	}
+	if err := validateFloor(minSpeed); err != nil {
+		return nil, err
+	}
+	n := len(util)
+	// Cumulative arrivals A[0..n], A[0] = 0.
+	arrive := make([]float64, n+1)
+	for i, u := range util {
+		arrive[i+1] = arrive[i] + u
+	}
+	// Lower convex hull of the points (i, A[i]) by monotone chain. The
+	// hull is the tightest convex curve under the arrivals from (0,0) to
+	// (n, A[n]); its slopes are the optimal speeds.
+	type pt struct {
+		x int
+		y float64
+	}
+	hull := make([]pt, 0, n+1)
+	for i := 0; i <= n; i++ {
+		p := pt{i, arrive[i]}
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Pop b if it lies on or above segment a→p (cross ≤ 0 keeps
+			// the hull strictly convex-down).
+			cross := float64(b.x-a.x)*(p.y-a.y) - (b.y-a.y)*float64(p.x-a.x)
+			if cross <= 0 {
+				hull = hull[:len(hull)-1]
+				continue
+			}
+			break
+		}
+		hull = append(hull, p)
+	}
+	out := make([]float64, n)
+	for h := 1; h < len(hull); h++ {
+		a, b := hull[h-1], hull[h]
+		slope := (b.y - a.y) / float64(b.x-a.x)
+		if slope < minSpeed {
+			slope = minSpeed
+		}
+		for i := a.x; i < b.x; i++ {
+			out[i] = slope
+		}
+	}
+	return out, nil
+}
+
+// FutureSpeeds implements Weiser's FUTURE: the scheduler peers into the
+// window it is about to run and sets the speed to exactly the demand of
+// that interval — perfect one-window lookahead with no deferral.
+func FutureSpeeds(util []float64, minSpeed float64) ([]float64, error) {
+	if err := validateTrace(util); err != nil {
+		return nil, err
+	}
+	if err := validateFloor(minSpeed); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(util))
+	for i, u := range util {
+		if u < minSpeed {
+			u = minSpeed
+		}
+		out[i] = u
+	}
+	return out, nil
+}
+
+// PastSpeeds is the trace-level PAST policy for comparison against OPT and
+// FUTURE: each interval runs at the speed the previous interval would have
+// needed.
+func PastSpeeds(util []float64, minSpeed float64) ([]float64, error) {
+	if err := validateTrace(util); err != nil {
+		return nil, err
+	}
+	if err := validateFloor(minSpeed); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(util))
+	prev := 1.0 // start at full speed, as an implementation would
+	for i := range out {
+		if prev < minSpeed {
+			prev = minSpeed
+		}
+		out[i] = prev
+		prev = util[i]
+	}
+	return out, nil
+}
+
+// TraceResult scores a speed schedule against a utilization trace in
+// Weiser's model: per-cycle energy scales with speed² (voltage tracks
+// frequency), so an interval doing w work at speed s costs w·s².
+type TraceResult struct {
+	Energy     float64 // relative energy, Σ work-done·speed²
+	MissedWork float64 // demand left undone at trace end
+}
+
+// EvaluateSpeeds scores a speed schedule. When deferWork is true, demand
+// that does not fit in its interval is carried forward as backlog and may
+// complete later (Weiser's OPT assumption: deadlines at trace end); only
+// backlog remaining at the end counts as missed. When false, any interval
+// spill is missed immediately (the paper's inelastic-deadline assumption).
+func EvaluateSpeeds(util, speeds []float64, deferWork bool) (TraceResult, error) {
+	if err := validateTrace(util); err != nil {
+		return TraceResult{}, err
+	}
+	if len(speeds) != len(util) {
+		return TraceResult{}, fmt.Errorf("policy: %d speeds for %d intervals",
+			len(speeds), len(util))
+	}
+	var res TraceResult
+	backlog := 0.0
+	for i, u := range util {
+		s := speeds[i]
+		if s <= 0 || s > 1 {
+			return TraceResult{}, fmt.Errorf("policy: speed[%d] = %v out of (0,1]", i, s)
+		}
+		avail := u
+		if deferWork {
+			avail += backlog
+		}
+		done := avail
+		if done > s {
+			done = s
+		}
+		res.Energy += done * s * s
+		spill := avail - done
+		if deferWork {
+			backlog = spill
+		} else {
+			res.MissedWork += spill
+		}
+	}
+	res.MissedWork += backlog
+	return res, nil
+}

@@ -1,0 +1,160 @@
+// Package policy implements the paper's contribution: interval-based
+// dynamic clock scheduling. An interval scheduler performs two tasks at
+// every 10 ms quantum — prediction (estimate the coming interval's processor
+// utilization from past intervals) and speed-setting (choose one of the
+// SA-1100's discrete clock steps, and optionally the core voltage).
+//
+// Predictors: PAST and AVG_N (Weiser et al., Govil et al., Pering et al.)
+// plus the naive fixed-window average the paper uses as a foil in Figure 5.
+// Speed setters: one, double, and peg. A Governor combines a predictor, a
+// pair of hysteresis bounds, and separate up/down speed setters, and is
+// installable as the kernel's speed policy.
+//
+// Utilization is carried in parts-per-ten-thousand (PP10K): 10000 means the
+// quantum was fully busy. With the kernel's 10 ms quantum this is exactly
+// the count of busy microseconds divided by the quantum in microseconds,
+// and it is the scale in which the paper's Table 1 prints weighted
+// utilizations (7000 = 70%).
+package policy
+
+import "fmt"
+
+// FullUtil is a fully-busy interval in PP10K.
+const FullUtil = 10000
+
+// Predictor estimates the coming interval's utilization from the sequence
+// of observed past intervals.
+type Predictor interface {
+	// Observe feeds the utilization of the interval that just ended
+	// (PP10K) and returns the updated weighted utilization (PP10K).
+	// Out-of-range inputs are clamped.
+	Observe(util int) int
+	// Weighted returns the current weighted utilization without
+	// observing anything, floored to an integer as the paper's Table 1
+	// prints it.
+	Weighted() int
+	// Reset returns the predictor to its initial state.
+	Reset()
+	// Name identifies the predictor, e.g. "PAST" or "AVG_9".
+	Name() string
+}
+
+func clampUtil(u int) int {
+	if u < 0 {
+		return 0
+	}
+	if u > FullUtil {
+		return FullUtil
+	}
+	return u
+}
+
+// AvgN is the exponential moving average predictor:
+//
+//	W_t = (N·W_{t−1} + U_{t−1}) / (N + 1)
+//
+// AVG_0 is the PAST policy — the current interval is predicted to be exactly
+// as busy as the immediately preceding one. The weighted state is kept at
+// full precision and floored only for reporting, which is what reproduces
+// the paper's Table 1 digit-for-digit.
+type AvgN struct {
+	n int
+	w float64
+}
+
+// NewAvgN returns an AVG_N predictor. It panics if n is negative, a
+// programming error.
+func NewAvgN(n int) *AvgN {
+	if n < 0 {
+		panic(fmt.Sprintf("policy: AVG_%d is meaningless", n))
+	}
+	return &AvgN{n: n}
+}
+
+// NewPAST returns the PAST predictor (AVG_0).
+func NewPAST() *AvgN { return NewAvgN(0) }
+
+// N returns the decay parameter.
+func (a *AvgN) N() int { return a.n }
+
+// Observe implements Predictor.
+func (a *AvgN) Observe(util int) int {
+	u := clampUtil(util)
+	a.w = (float64(a.n)*a.w + float64(u)) / float64(a.n+1)
+	return a.Weighted()
+}
+
+// Weighted implements Predictor.
+func (a *AvgN) Weighted() int { return int(a.w) }
+
+// Reset implements Predictor.
+func (a *AvgN) Reset() { a.w = 0 }
+
+// Name implements Predictor.
+func (a *AvgN) Name() string {
+	if a.n == 0 {
+		return "PAST"
+	}
+	return fmt.Sprintf("AVG_%d", a.n)
+}
+
+// SimpleWindow is the naive speed-setting foil of the paper's Figure 5: it
+// averages the busy fraction of the previous N quanta with equal weight.
+// The paper shows it responds asymmetrically — it slows down quickly when
+// idle cycles flood the window but speeds back up very slowly, because the
+// total number of non-idle cycles across the window grows one quantum at a
+// time.
+type SimpleWindow struct {
+	hist []int
+	next int
+	full bool
+}
+
+// NewSimpleWindow returns a window averaging the last n quanta. It panics
+// if n < 1.
+func NewSimpleWindow(n int) *SimpleWindow {
+	if n < 1 {
+		panic(fmt.Sprintf("policy: window of %d quanta is meaningless", n))
+	}
+	return &SimpleWindow{hist: make([]int, n)}
+}
+
+// Observe implements Predictor.
+func (s *SimpleWindow) Observe(util int) int {
+	s.hist[s.next] = clampUtil(util)
+	s.next++
+	if s.next == len(s.hist) {
+		s.next = 0
+		s.full = true
+	}
+	return s.Weighted()
+}
+
+// Weighted implements Predictor. Before the window fills it averages over
+// the observations seen so far.
+func (s *SimpleWindow) Weighted() int {
+	n := len(s.hist)
+	if !s.full {
+		n = s.next
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.hist[i]
+	}
+	return sum / n
+}
+
+// Reset implements Predictor.
+func (s *SimpleWindow) Reset() {
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+	s.next = 0
+	s.full = false
+}
+
+// Name implements Predictor.
+func (s *SimpleWindow) Name() string { return fmt.Sprintf("WINDOW_%d", len(s.hist)) }

@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAvg9Table1 reproduces the paper's Table 1 digit-for-digit: AVG_9 fed
+// 15 fully-active quanta then 5 idle quanta, weighted utilization printed
+// as its integer floor. (The paper's printed value at t=80 ms, "5965", is a
+// transposition typo for 5695: the recurrence (9·5217.031+10000)/10 =
+// 5695.3 and the following row, 6125, only follows from 5695.)
+func TestAvg9Table1(t *testing.T) {
+	want := []int{
+		1000, 1900, 2710, 3439, 4095, 4685, 5217, 5695, 6125, 6513,
+		6861, 7175, 7458, 7712, 7941, // 15 active quanta
+		7146, 6432, 5789, 5210, 4689, // 5 idle quanta
+	}
+	a := NewAvgN(9)
+	for i, w := range want {
+		u := 0
+		if i < 15 {
+			u = FullUtil
+		}
+		if got := a.Observe(u); got != w {
+			t.Errorf("t=%dms: W = %d, want %d", (i+1)*10, got, w)
+		}
+	}
+}
+
+// TestAvg9Table1Actions checks the scale actions Table 1 annotates: with an
+// upper bound of 70% the clock scales up at t=120…160 ms (five times — the
+// first idle quantum still leaves W above 70%) and, with a 50% lower bound,
+// scales down at t=200 ms.
+func TestAvg9Table1Actions(t *testing.T) {
+	// The worked example starts from an idle state, i.e. already at the
+	// bottom step, so the early low-average quanta produce no-op
+	// scale-downs that the table does not annotate.
+	g := MustGovernor(NewAvgN(9), One{}, One{}, PeringBounds, false)
+	var ups, downs []int
+	cur := stepMin
+	for i := 0; i < 20; i++ {
+		u := 0
+		if i < 15 {
+			u = FullUtil
+		}
+		d := g.Decide(u, cur)
+		tMs := (i + 1) * 10
+		if d.ScaledUp {
+			ups = append(ups, tMs)
+		}
+		if d.ScaledDn {
+			downs = append(downs, tMs)
+		}
+		cur = d.Step
+	}
+	wantUps := []int{120, 130, 140, 150, 160}
+	if len(ups) != len(wantUps) {
+		t.Fatalf("scale-ups at %v, want %v", ups, wantUps)
+	}
+	for i := range wantUps {
+		if ups[i] != wantUps[i] {
+			t.Fatalf("scale-ups at %v, want %v", ups, wantUps)
+		}
+	}
+	if len(downs) != 1 || downs[0] != 200 {
+		t.Fatalf("scale-downs at %v, want [200]", downs)
+	}
+}
+
+func TestPASTTracksLastInterval(t *testing.T) {
+	p := NewPAST()
+	for _, u := range []int{0, 10000, 3000, 7421} {
+		if got := p.Observe(u); got != u {
+			t.Errorf("PAST.Observe(%d) = %d", u, got)
+		}
+	}
+	if p.Name() != "PAST" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestAvgNLagBeforeFullSpeed(t *testing.T) {
+	// "Starting from an idle state, the clock will not scale to 206 MHz
+	// for 120 ms (12 quanta)": AVG_9 with a 70% upper bound takes 12
+	// fully-busy quanta before its weighted utilization first crosses the
+	// bound. With peg scaling that is exactly when 206.4 MHz is reached.
+	g := MustGovernor(NewAvgN(9), Peg{}, Peg{}, PeringBounds, false)
+	cur := stepMin
+	quanta := 0
+	for cur != stepMax {
+		d := g.Decide(FullUtil, cur)
+		cur = d.Step
+		quanta++
+		if quanta > 100 {
+			t.Fatal("never reached full speed")
+		}
+	}
+	if quanta != 12 {
+		t.Errorf("reached 206MHz after %d quanta, want 12", quanta)
+	}
+
+	// With one-step scaling the first upward move also happens at
+	// quantum 12; the top arrives only after ten further steps.
+	g2 := MustGovernor(NewAvgN(9), One{}, One{}, PeringBounds, false)
+	cur = stepMin
+	firstUp := 0
+	for i := 1; i <= 30 && firstUp == 0; i++ {
+		if d := g2.Decide(FullUtil, cur); d.ScaledUp {
+			firstUp = i
+		} else {
+			cur = d.Step
+		}
+	}
+	if firstUp != 12 {
+		t.Errorf("first one-step scale-up at quantum %d, want 12", firstUp)
+	}
+}
+
+func TestAvgNClampsInput(t *testing.T) {
+	a := NewAvgN(0)
+	if got := a.Observe(-500); got != 0 {
+		t.Errorf("Observe(-500) = %d", got)
+	}
+	if got := a.Observe(20000); got != FullUtil {
+		t.Errorf("Observe(20000) = %d", got)
+	}
+}
+
+func TestAvgNReset(t *testing.T) {
+	a := NewAvgN(5)
+	a.Observe(FullUtil)
+	a.Observe(FullUtil)
+	if a.Weighted() == 0 {
+		t.Fatal("weighted zero after observations")
+	}
+	a.Reset()
+	if a.Weighted() != 0 {
+		t.Errorf("Weighted after Reset = %d", a.Weighted())
+	}
+}
+
+func TestAvgNNames(t *testing.T) {
+	if NewAvgN(9).Name() != "AVG_9" {
+		t.Errorf("Name = %q", NewAvgN(9).Name())
+	}
+	if NewAvgN(9).N() != 9 {
+		t.Error("N() wrong")
+	}
+}
+
+func TestNewAvgNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAvgN(-1) did not panic")
+		}
+	}()
+	NewAvgN(-1)
+}
+
+func TestSimpleWindowAveraging(t *testing.T) {
+	s := NewSimpleWindow(4)
+	// Figure 5 "going to idle": four active quanta then idles.
+	for i := 0; i < 4; i++ {
+		s.Observe(FullUtil)
+	}
+	if got := s.Weighted(); got != FullUtil {
+		t.Fatalf("full window = %d", got)
+	}
+	// One idle quantum: average of {1,1,1,0} = 7500.
+	if got := s.Observe(0); got != 7500 {
+		t.Errorf("after 1 idle = %d, want 7500", got)
+	}
+	if got := s.Observe(0); got != 5000 {
+		t.Errorf("after 2 idle = %d, want 5000", got)
+	}
+}
+
+func TestSimpleWindowPartialFill(t *testing.T) {
+	s := NewSimpleWindow(4)
+	if got := s.Weighted(); got != 0 {
+		t.Errorf("empty window weighted = %d", got)
+	}
+	if got := s.Observe(6000); got != 6000 {
+		t.Errorf("first observation = %d, want 6000 (average of one)", got)
+	}
+	if got := s.Observe(0); got != 3000 {
+		t.Errorf("second = %d, want 3000", got)
+	}
+}
+
+func TestSimpleWindowSlowSpeedup(t *testing.T) {
+	// The Figure 5 pathology: coming out of idle, the windowed average
+	// rises by only 1/N of full per quantum (2500, 5000, 7500, 10000),
+	// so with a 70% bound the first two fully-busy recovery quanta
+	// produce no scale-up at all — "the processor speed increases very
+	// slowly".
+	s := NewSimpleWindow(4)
+	for i := 0; i < 4; i++ {
+		s.Observe(0)
+	}
+	var above []int
+	for i := 1; i <= 4; i++ {
+		if s.Observe(FullUtil) > 7000 {
+			above = append(above, i)
+		}
+	}
+	if len(above) != 2 || above[0] != 3 || above[1] != 4 {
+		t.Errorf("window exceeded 70%% at recovery quanta %v, want [3 4]", above)
+	}
+}
+
+func TestSimpleWindowResetAndName(t *testing.T) {
+	s := NewSimpleWindow(3)
+	s.Observe(FullUtil)
+	s.Reset()
+	if s.Weighted() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if s.Name() != "WINDOW_3" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestNewSimpleWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSimpleWindow(0) did not panic")
+		}
+	}()
+	NewSimpleWindow(0)
+}
+
+// Property: every predictor's weighted output stays within [0, FullUtil]
+// for arbitrary (clamped) inputs.
+func TestPredictorsBoundedProperty(t *testing.T) {
+	f := func(inputs []int16, nRaw uint8) bool {
+		preds := []Predictor{
+			NewAvgN(int(nRaw % 12)),
+			NewSimpleWindow(int(nRaw%12) + 1),
+		}
+		for _, p := range preds {
+			for _, in := range inputs {
+				w := p.Observe(int(in))
+				if w < 0 || w > FullUtil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AVG_N converges to a constant input's level.
+func TestAvgNConvergesProperty(t *testing.T) {
+	f := func(level uint16, nRaw uint8) bool {
+		u := int(level) % (FullUtil + 1)
+		n := int(nRaw % 10)
+		a := NewAvgN(n)
+		for i := 0; i < 2000; i++ {
+			a.Observe(u)
+		}
+		w := a.Weighted()
+		return w >= u-1 && w <= u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

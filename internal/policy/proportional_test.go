@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"testing"
+
+	"clocksched/internal/cpu"
+)
+
+func TestNewProportionalValidation(t *testing.T) {
+	if _, err := NewProportional(nil, 7000, false); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	if _, err := NewProportional(NewPAST(), 0, false); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := NewProportional(NewPAST(), 10001, false); err == nil {
+		t.Error("target above full accepted")
+	}
+}
+
+func TestProportionalTracksDemand(t *testing.T) {
+	p, err := NewProportional(NewPAST(), 10000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully busy at 59 MHz: demand 59 MHz at 100% target → stay.
+	s, _ := p.OnQuantum(0, FullUtil, cpu.MinStep, cpu.VHigh)
+	if s != cpu.MinStep {
+		t.Errorf("step = %v, want 59MHz (demand exactly met)", s)
+	}
+	// Half busy at 206.4 MHz: demand 103.2 MHz.
+	s, _ = p.OnQuantum(0, 5000, cpu.MaxStep, cpu.VHigh)
+	if s != cpu.Step(3) {
+		t.Errorf("step = %v, want 103.2MHz", s)
+	}
+	// Idle: drop to the bottom.
+	s, _ = p.OnQuantum(0, 0, cpu.MaxStep, cpu.VHigh)
+	if s != cpu.MinStep {
+		t.Errorf("step = %v, want 59MHz", s)
+	}
+}
+
+func TestProportionalHeadroomTarget(t *testing.T) {
+	// With a 70% target, a 70%-busy quantum holds; a fully busy one
+	// scales up by the 1/0.7 factor.
+	p, _ := NewProportional(NewPAST(), 7000, false)
+	s, _ := p.OnQuantum(0, 7000, cpu.Step(5), cpu.VHigh)
+	if s != cpu.Step(5) {
+		t.Errorf("at target: step = %v, want unchanged", s)
+	}
+	s, _ = p.OnQuantum(0, FullUtil, cpu.Step(5), cpu.VHigh)
+	// 132.7 / 0.7 = 189.6 MHz → 191.7 MHz.
+	if s != cpu.Step(9) {
+		t.Errorf("above target: step = %v, want 191.7MHz", s)
+	}
+}
+
+func TestProportionalSaturationBlindness(t *testing.T) {
+	// The paper's Section 3 point about Weiser's PAST, reproduced in
+	// closed loop: "the scheduler can simply observe that the application
+	// executed until the end of the scheduling quanta, and does not know
+	// the amount of 'unfinished' computing left." A proportional governor
+	// targeting 100% utilization can therefore never scale up — observed
+	// utilization saturates at 100%, which demands exactly the current
+	// frequency and nothing more.
+	p, _ := NewProportional(NewPAST(), FullUtil, false)
+	cur := cpu.MinStep
+	for i := 0; i < 50; i++ {
+		cur, _ = p.OnQuantum(0, FullUtil, cur, cpu.VHigh)
+	}
+	if cur != cpu.MinStep {
+		t.Errorf("100%%-target governor climbed to %v; saturation should pin it", cur)
+	}
+}
+
+func TestProportionalFigure5Pathology(t *testing.T) {
+	// The closed-loop version of Figure 5(b): a windowed average coming
+	// out of idle at the bottom step raises the demanded frequency only
+	// as fast as the window fills — and because the demand is measured in
+	// *cycles at the current slow clock*, recovery to the top step takes
+	// several quanta even with a 70% headroom target.
+	p, _ := NewProportional(NewSimpleWindow(4), 7000, false)
+	cur := cpu.MinStep
+	for i := 0; i < 4; i++ { // idle history
+		cur, _ = p.OnQuantum(0, 0, cur, cpu.VHigh)
+	}
+	quanta := 0
+	for cur != cpu.MaxStep && quanta < 100 {
+		cur, _ = p.OnQuantum(0, FullUtil, cur, cpu.VHigh)
+		quanta++
+	}
+	if quanta < 4 {
+		t.Errorf("recovered to full speed in %d quanta; Figure 5 says the climb is slow", quanta)
+	}
+	if cur != cpu.MaxStep {
+		t.Errorf("never recovered to full speed (stuck at %v)", cur)
+	}
+}
+
+func TestProportionalVoltageScale(t *testing.T) {
+	p, _ := NewProportional(NewPAST(), 10000, true)
+	_, v := p.OnQuantum(0, 0, cpu.MaxStep, cpu.VHigh)
+	if v != cpu.VLow {
+		t.Errorf("voltage = %v at the bottom step with scaling on", v)
+	}
+	_, v = p.OnQuantum(0, FullUtil, cpu.MaxStep, cpu.VHigh)
+	if v != cpu.VHigh {
+		t.Errorf("voltage = %v at the top step", v)
+	}
+}
+
+func TestProportionalChangesAndName(t *testing.T) {
+	p, _ := NewProportional(NewPAST(), 7000, false)
+	p.OnQuantum(0, FullUtil, cpu.MinStep, cpu.VHigh)
+	p.OnQuantum(0, FullUtil, cpu.MinStep, cpu.VHigh)
+	if p.Changes() != 2 {
+		t.Errorf("Changes = %d", p.Changes())
+	}
+	if p.Name() != "PROPORTIONAL(PAST, 70%)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}

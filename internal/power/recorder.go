@@ -1,0 +1,134 @@
+package power
+
+import (
+	"errors"
+	"sort"
+
+	"clocksched/internal/sim"
+)
+
+// TimePoint is one change-point in a piecewise-constant power timeline: the
+// system drew Watts from At until the next point.
+type TimePoint struct {
+	At    sim.Time
+	Watts float64
+}
+
+// Recorder accumulates the exact piecewise-constant power timeline of a run.
+// The kernel reports every state change; energy integrals over the recorded
+// span are then exact, and the simulated DAQ samples the same timeline at
+// 5 kHz the way the real instrument sampled the shunt resistor.
+type Recorder struct {
+	model  Model
+	points []TimePoint
+	last   sim.Time // latest time seen; timeline is valid up to here
+	closed bool
+}
+
+// NewRecorder creates a recorder that starts at time 0 in the given state.
+func NewRecorder(m Model, initial State) *Recorder {
+	r := &Recorder{model: m}
+	r.points = append(r.points, TimePoint{At: 0, Watts: m.Power(initial)})
+	return r
+}
+
+// Model returns the power model in use.
+func (r *Recorder) Model() Model { return r.model }
+
+// SetState records that the system entered st at time now. Calls must be in
+// nondecreasing time order; an out-of-order call panics, since the kernel
+// driving the recorder is single-threaded virtual time and regression is a
+// programming error.
+func (r *Recorder) SetState(now sim.Time, st State) {
+	r.setWatts(now, r.model.Power(st))
+}
+
+// SetWatts records a raw power level, for experiments that bypass the model
+// (e.g. injecting a measured trace).
+func (r *Recorder) SetWatts(now sim.Time, w float64) { r.setWatts(now, w) }
+
+func (r *Recorder) setWatts(now sim.Time, w float64) {
+	if r.closed {
+		panic("power: SetState after Finish")
+	}
+	if now < r.last {
+		panic("power: state change out of time order")
+	}
+	r.last = now
+	last := &r.points[len(r.points)-1]
+	if last.Watts == w {
+		return // no change; keep the timeline minimal
+	}
+	if last.At == now {
+		// Same-instant revision (e.g. step change and mode change in one
+		// event): the later write wins.
+		last.Watts = w
+		// Collapse if this made it equal to its predecessor.
+		if n := len(r.points); n >= 2 && r.points[n-2].Watts == w {
+			r.points = r.points[:n-1]
+		}
+		return
+	}
+	r.points = append(r.points, TimePoint{At: now, Watts: w})
+}
+
+// Finish marks the timeline complete at time end. Further SetState calls
+// panic. Energy and PowerAt remain usable up to end.
+func (r *Recorder) Finish(end sim.Time) {
+	if end < r.last {
+		panic("power: Finish before last state change")
+	}
+	r.last = end
+	r.closed = true
+}
+
+// End returns the latest time covered by the timeline.
+func (r *Recorder) End() sim.Time { return r.last }
+
+// Points returns the recorded change-points. The slice is the recorder's
+// own; callers must not modify it.
+func (r *Recorder) Points() []TimePoint { return r.points }
+
+// ErrRange is returned for queries outside the recorded timeline.
+var ErrRange = errors.New("power: query outside recorded timeline")
+
+// PowerAt returns the instantaneous power at time t.
+func (r *Recorder) PowerAt(t sim.Time) (float64, error) {
+	if t < 0 || t > r.last {
+		return 0, ErrRange
+	}
+	// Binary search for the last point with At <= t.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].At > t })
+	return r.points[i-1].Watts, nil
+}
+
+// Energy integrates power over [from, to] exactly, returning joules.
+func (r *Recorder) Energy(from, to sim.Time) (float64, error) {
+	if from < 0 || to > r.last || from > to {
+		return 0, ErrRange
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].At > from }) - 1
+	total := 0.0
+	for t := from; t < to; {
+		segEnd := to
+		if i+1 < len(r.points) && r.points[i+1].At < to {
+			segEnd = r.points[i+1].At
+		}
+		total += r.points[i].Watts * (segEnd - t).Seconds()
+		t = segEnd
+		i++
+	}
+	return total, nil
+}
+
+// AveragePower returns the mean power over [from, to] in watts.
+func (r *Recorder) AveragePower(from, to sim.Time) (float64, error) {
+	if to <= from {
+		return 0, ErrRange
+	}
+	e, err := r.Energy(from, to)
+	if err != nil {
+		return 0, err
+	}
+	return e / (to - from).Seconds(), nil
+}

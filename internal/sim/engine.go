@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a callback scheduled to fire at a specific virtual time.
+type Event func(now Time)
+
+// scheduled is one pending event in the queue. seq breaks ties so that two
+// events at the same instant fire in the order they were scheduled,
+// keeping runs deterministic.
+type scheduled struct {
+	at    Time
+	seq   uint64
+	fn    Event
+	index int // heap index; -1 once popped or cancelled
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*q)
+	*q = append(*q, s)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*q = old[:n-1]
+	return s
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	e *scheduled
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use and
+// starts at time zero.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// ErrPast is returned when an event is scheduled before the current time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have fired so far; useful for loop bounds in
+// tests and for diagnosing runaway schedules.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to fire at absolute time t. Scheduling at the current time
+// is allowed — the event fires before time advances further.
+func (e *Engine) At(t Time, fn Event) (Handle, error) {
+	if t < e.now {
+		return Handle{}, fmt.Errorf("%w: at %v, now %v", ErrPast, t, e.now)
+	}
+	if fn == nil {
+		return Handle{}, errors.New("sim: nil event")
+	}
+	s := &scheduled{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, s)
+	return Handle{e: s}, nil
+}
+
+// After schedules fn to fire d microseconds from now. A non-positive delay
+// fires at the current instant.
+func (e *Engine) After(d Duration, fn Event) (Handle, error) {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired or was already cancelled).
+func (e *Engine) Cancel(h Handle) bool {
+	s := h.e
+	if s == nil || s.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, s.index)
+	s.index = -1
+	s.fn = nil
+	return true
+}
+
+// Halt stops the run loop after the currently-firing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	s := heap.Pop(&e.queue).(*scheduled)
+	e.now = s.at
+	e.fired++
+	fn := s.fn
+	s.fn = nil
+	fn(e.now)
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ end, then sets the clock to end.
+// Events scheduled beyond end remain queued.
+func (e *Engine) RunUntil(end Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= end {
+		e.Step()
+	}
+	if !e.halted && e.now < end {
+		e.now = end
+	}
+}
+
+// Every schedules fn to fire now+period, now+2·period, … until either fn
+// returns false or the engine halts. It panics if period is not positive.
+func (e *Engine) Every(period Duration, fn func(now Time) bool) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var tick Event
+	tick = func(now Time) {
+		if !fn(now) {
+			return
+		}
+		// Re-arm. Scheduling from inside an event cannot fail: now+period
+		// is strictly in the future.
+		if _, err := e.At(now+period, tick); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := e.After(period, tick); err != nil {
+		panic(err)
+	}
+}

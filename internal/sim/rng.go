@@ -1,0 +1,83 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (SplitMix64).
+// Simulations take an explicit *RNG so that every run is reproducible from
+// its seed; nothing in this module ever consults a global or time-based
+// source of randomness.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int64(v % max)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal deviate using the polar Box–Muller method.
+func (r *RNG) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Duration returns a uniform duration in [lo, hi]. It panics if hi < lo.
+func (r *RNG) Duration(lo, hi Duration) Duration {
+	if hi < lo {
+		panic("sim: Duration with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + Duration(r.Int63n(int64(hi-lo)+1))
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Split returns a new generator whose stream is independent of r's
+// continued output, for giving each simulated process its own source.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGInt63nRange(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGInt63nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Int63n(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniforms = %v, want ≈0.5", n, mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestRNGDurationBounds(t *testing.T) {
+	r := NewRNG(17)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		d := r.Duration(5, 8)
+		if d < 5 || d > 8 {
+			t.Fatalf("Duration(5,8) = %d out of range", d)
+		}
+		if d == 5 {
+			sawLo = true
+		}
+		if d == 8 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Error("Duration(5,8) never hit an endpoint; bounds look exclusive")
+	}
+	if r.Duration(3, 3) != 3 {
+		t.Error("Duration(3,3) != 3")
+	}
+}
+
+func TestRNGDurationPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Duration(hi<lo) did not panic")
+		}
+	}()
+	NewRNG(1).Duration(10, 5)
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(19)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) true fraction = %v", frac)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(23)
+	child := r.Split()
+	// The child stream should not be a shifted copy of the parent stream.
+	a := make([]uint64, 32)
+	b := make([]uint64, 32)
+	for i := range a {
+		a[i] = r.Uint64()
+		b[i] = child.Uint64()
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("parent and child streams collided %d/32 times", same)
+	}
+}
+
+// Property: Int63n never escapes its bound for any positive n.
+func TestRNGInt63nProperty(t *testing.T) {
+	f := func(seed uint64, n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		r := NewRNG(seed)
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package trace records and replays timestamped input events, mirroring the
+// paper's tracing mechanism: "we used a tracing mechanism that recorded
+// timestamped input events and then allowed us to replay those events with
+// millisecond accuracy." Traces make interactive workloads exactly
+// repeatable across runs and policies.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clocksched/internal/sim"
+)
+
+// Event is one recorded input event: a pen tap, a scroll, a menu selection.
+// Kind is application-defined; Arg carries an application payload (e.g.
+// scroll distance or a move index).
+type Event struct {
+	At   sim.Time
+	Kind string
+	Arg  int64
+}
+
+// Trace is an ordered sequence of input events for one application session.
+type Trace struct {
+	Name   string
+	Events []Event
+}
+
+// Validate checks that events are in nondecreasing time order with
+// non-negative timestamps and non-empty kinds.
+func (t *Trace) Validate() error {
+	if t.Name == "" {
+		return errors.New("trace: empty name")
+	}
+	for i, e := range t.Events {
+		if e.At < 0 {
+			return fmt.Errorf("trace: event %d at negative time %v", i, e.At)
+		}
+		if e.Kind == "" {
+			return fmt.Errorf("trace: event %d has empty kind", i)
+		}
+		if strings.ContainsAny(e.Kind, " \t\n") {
+			return fmt.Errorf("trace: event %d kind %q contains whitespace", i, e.Kind)
+		}
+		if i > 0 && e.At < t.Events[i-1].At {
+			return fmt.Errorf("trace: event %d at %v before predecessor at %v",
+				i, e.At, t.Events[i-1].At)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time of the last event (the session length).
+func (t *Trace) Duration() sim.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].At
+}
+
+// Recorder captures events during a live session.
+type Recorder struct {
+	name   string
+	events []Event
+}
+
+// NewRecorder starts recording a session under the given name.
+func NewRecorder(name string) *Recorder { return &Recorder{name: name} }
+
+// Add records one event. Events may arrive out of order (from multiple
+// sources); Finish sorts them.
+func (r *Recorder) Add(at sim.Time, kind string, arg int64) {
+	r.events = append(r.events, Event{At: at, Kind: kind, Arg: arg})
+}
+
+// Finish returns the completed, validated trace.
+func (r *Recorder) Finish() (*Trace, error) {
+	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].At < r.events[j].At })
+	t := &Trace{Name: r.name, Events: r.events}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteTo serializes the trace in a line-oriented text format:
+//
+//	# itsy input trace
+//	name <name>
+//	<microseconds> <kind> <arg>
+//	...
+//
+// It returns the number of bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "# itsy input trace\nname %s\n", t.Name)); err != nil {
+		return n, err
+	}
+	for _, e := range t.Events {
+		if err := count(fmt.Fprintf(bw, "%d %s %d\n", int64(e.At), e.Kind, e.Arg)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a trace in the WriteTo format.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "name" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: bad name directive", line)
+			}
+			t.Name = fields[1]
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'time kind arg', got %q", line, text)
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", line, err)
+		}
+		arg, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad arg: %v", line, err)
+		}
+		t.Events = append(t.Events, Event{At: sim.Time(at), Kind: fields[1], Arg: arg})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Replayer walks a trace in time order.
+type Replayer struct {
+	trace *Trace
+	next  int
+}
+
+// NewReplayer returns a replayer positioned at the first event.
+func NewReplayer(t *Trace) (*Replayer, error) {
+	if t == nil {
+		return nil, errors.New("trace: nil trace")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Replayer{trace: t}, nil
+}
+
+// Peek returns the next event without consuming it; ok is false at the end.
+func (r *Replayer) Peek() (Event, bool) {
+	if r.next >= len(r.trace.Events) {
+		return Event{}, false
+	}
+	return r.trace.Events[r.next], true
+}
+
+// Next consumes and returns the next event; ok is false at the end.
+func (r *Replayer) Next() (Event, bool) {
+	e, ok := r.Peek()
+	if ok {
+		r.next++
+	}
+	return e, ok
+}
+
+// Remaining returns how many events are left.
+func (r *Replayer) Remaining() int { return len(r.trace.Events) - r.next }
