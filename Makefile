@@ -1,0 +1,28 @@
+# Build and verification tiers. `make check` is the full local gate:
+# static vetting, the complete test suite under the race detector, a short
+# fuzz smoke of the trace parser, and the kernel stress tests under -race.
+
+GO ?= go
+
+.PHONY: build test check vet race fuzz-smoke stress
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
+
+stress:
+	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
+
+check: vet race fuzz-smoke stress
+	@echo "check: all tiers passed"

@@ -219,7 +219,7 @@ func BenchmarkAblationSpeedSetters(b *testing.B) {
 // energy/stability tradeoff.
 func BenchmarkAblationAvgN(b *testing.B) {
 	for _, n := range []int{0, 3, 9} {
-		b.Run(policy.NewAvgN(n).Name(), func(b *testing.B) {
+		b.Run(policy.MustAvgN(n).Name(), func(b *testing.B) {
 			var changes int
 			for i := 0; i < b.N; i++ {
 				res, err := Run(Config{
@@ -283,7 +283,7 @@ func BenchmarkSimulatedSecond(b *testing.B) {
 // BenchmarkGovernorDecide measures the per-quantum cost of the policy
 // module itself — what the real kernel would pay every 10 ms.
 func BenchmarkGovernorDecide(b *testing.B) {
-	gov := policy.MustGovernor(policy.NewAvgN(9), policy.One{}, policy.One{},
+	gov := policy.MustGovernor(policy.MustAvgN(9), policy.One{}, policy.One{},
 		policy.PeringBounds, false)
 	cur := cpu.Step(5)
 	for i := 0; i < b.N; i++ {

@@ -28,6 +28,7 @@ import (
 
 	"clocksched/internal/cpu"
 	"clocksched/internal/expt"
+	"clocksched/internal/fault"
 	"clocksched/internal/policy"
 	"clocksched/internal/sim"
 )
@@ -177,11 +178,12 @@ func (p Policy) build() (spec expt.RunSpec, err error) {
 		spec.InitialV = cpu.VHigh
 		return spec, nil
 	}
-	if p.AvgN < 0 {
-		return spec, fmt.Errorf("clocksched: negative AVG_N %d", p.AvgN)
+	pred, err := policy.NewAvgN(p.AvgN)
+	if err != nil {
+		return spec, fmt.Errorf("clocksched: %w", err)
 	}
 	if p.Proportional {
-		prop, err := policy.NewProportional(policy.NewAvgN(p.AvgN),
+		prop, err := policy.NewProportional(pred,
 			p.TargetPercent*100, p.VoltageScale)
 		if err != nil {
 			return spec, err
@@ -199,7 +201,7 @@ func (p Policy) build() (spec expt.RunSpec, err error) {
 	if !ok {
 		return spec, fmt.Errorf("clocksched: unknown down setter %q", p.Down)
 	}
-	gov, err := policy.NewGovernor(policy.NewAvgN(p.AvgN), up, down,
+	gov, err := policy.NewGovernor(pred, up, down,
 		policy.Bounds{Lo: p.LoPercent * 100, Hi: p.HiPercent * 100}, p.VoltageScale)
 	if err != nil {
 		return spec, err
@@ -208,6 +210,96 @@ func (p Policy) build() (spec expt.RunSpec, err error) {
 	spec.InitialStep = cpu.MaxStep
 	spec.InitialV = cpu.VHigh
 	return spec, nil
+}
+
+// FaultPlan describes deterministic fault injection for one run. All
+// probabilities are per opportunity in [0, 1]; zero fields inject nothing.
+// The injection schedule is drawn from a dedicated RNG stream derived from
+// Config.Seed, so it is repeatable and independent of workload jitter: a
+// nil or zero plan leaves the run bit-identical to one without the fault
+// layer.
+type FaultPlan struct {
+	// ClockChangeFailProb makes a requested clock-step transition fail
+	// silently: the PLL never relocks, the step stays put, and the policy
+	// discovers the refusal only by observing the unchanged step.
+	ClockChangeFailProb float64
+	// SettleStallProb extends a successful clock change's 200 µs relock
+	// stall by a uniform extra delay in (0, SettleStallMax].
+	SettleStallProb float64
+	SettleStallMax  time.Duration // zero: 2 ms
+	// SampleDropProb loses a DAQ conversion; the instrument repeats its
+	// previous reading.
+	SampleDropProb float64
+	// SampleGlitchProb perturbs a DAQ reading by a uniform additive error
+	// in [−SampleGlitchWatts, +SampleGlitchWatts], clipped to the ADC
+	// range.
+	SampleGlitchProb  float64
+	SampleGlitchWatts float64 // zero: 0.5 W
+	// TimerJitterProb delays a quantum timer interrupt by a uniform
+	// amount in (0, TimerJitterMax].
+	TimerJitterProb float64
+	TimerJitterMax  time.Duration // zero: 2 ms
+	// TraceDropProb loses a scheduler trace event; TraceDelayProb stamps
+	// one late by up to TraceDelayMax.
+	TraceDropProb  float64
+	TraceDelayProb float64
+	TraceDelayMax  time.Duration // zero: 5 ms
+}
+
+func (p *FaultPlan) internal() *fault.Plan {
+	if p == nil {
+		return nil
+	}
+	return &fault.Plan{
+		ClockChangeFailProb: p.ClockChangeFailProb,
+		SettleStallProb:     p.SettleStallProb,
+		SettleStallMax:      sim.Duration(p.SettleStallMax / time.Microsecond),
+		SampleDropProb:      p.SampleDropProb,
+		SampleGlitchProb:    p.SampleGlitchProb,
+		SampleGlitchWatts:   p.SampleGlitchWatts,
+		TimerJitterProb:     p.TimerJitterProb,
+		TimerJitterMax:      sim.Duration(p.TimerJitterMax / time.Microsecond),
+		TraceDropProb:       p.TraceDropProb,
+		TraceDelayProb:      p.TraceDelayProb,
+		TraceDelayMax:       sim.Duration(p.TraceDelayMax / time.Microsecond),
+	}
+}
+
+// WatchdogConfig tunes the supervisory governor that wraps the selected
+// policy. Zero fields take defaults (16-quantum window, 6 reversals, 50
+// saturated quanta, 8 missed deadlines, 1 s safe hold escalating to 8 s).
+type WatchdogConfig struct {
+	// Window and MaxReversals configure the oscillation detector: that
+	// many direction reversals within Window quanta trips safe mode.
+	Window       int
+	MaxReversals int
+	// PegQuanta and PegUtilPercent configure the pegging detector:
+	// PegQuanta consecutive quanta at the minimum clock step with
+	// utilization at or above PegUtilPercent trip safe mode.
+	PegQuanta      int
+	PegUtilPercent int
+	// MissStreak consecutive deadlines late beyond DeadlineSlack trip
+	// safe mode.
+	MissStreak int
+	// SafeQuanta is the first trip's safe-mode hold, in 10 ms quanta;
+	// each further trip doubles it up to MaxSafeQuanta.
+	SafeQuanta    int
+	MaxSafeQuanta int
+}
+
+func (c *WatchdogConfig) internal() *policy.WatchdogConfig {
+	if c == nil {
+		return nil
+	}
+	return &policy.WatchdogConfig{
+		Window:        c.Window,
+		MaxReversals:  c.MaxReversals,
+		PegQuanta:     c.PegQuanta,
+		PegUtil:       c.PegUtilPercent * 100,
+		MissStreak:    c.MissStreak,
+		SafeQuanta:    c.SafeQuanta,
+		MaxSafeQuanta: c.MaxSafeQuanta,
+	}
 }
 
 // Config describes one measurement run.
@@ -225,6 +317,12 @@ type Config struct {
 	// DeadlineSlack is the perceptual slack when counting missed
 	// deadlines; zero selects 33 ms (half an MPEG frame).
 	DeadlineSlack time.Duration
+	// Faults optionally injects deterministic hardware/driver failures.
+	Faults *FaultPlan
+	// Watchdog optionally wraps the policy in a supervisory governor that
+	// degrades to full speed at 1.5 V when the policy misbehaves. It
+	// requires a non-constant policy.
+	Watchdog *WatchdogConfig
 }
 
 // UtilPoint is one scheduling quantum of the run's utilization trace.
@@ -270,6 +368,36 @@ type Result struct {
 
 	// Trace is the per-quantum utilization and frequency timeline.
 	Trace []UtilPoint
+
+	// Faults reports what the injection plan actually did; nil when no
+	// plan was configured.
+	Faults *FaultReport
+	// Watchdog reports the supervisory governor's activity; nil when none
+	// was configured.
+	Watchdog *WatchdogReport
+}
+
+// FaultReport tallies the faults a plan injected into one run.
+type FaultReport struct {
+	ClockChangeFails int           // clock transitions the hardware refused
+	SettleStalls     int           // extended PLL relocks
+	ExtraStallTime   time.Duration // execution time lost to them
+	SamplesDropped   int           // DAQ conversions lost
+	SamplesGlitched  int           // DAQ readings perturbed
+	TimerJitters     int           // delayed quantum interrupts
+	TimerJitterTime  time.Duration // total interrupt delay
+	TraceDrops       int           // scheduler trace events lost
+	TraceDelays      int           // scheduler trace events stamped late
+	Total            int           // every fault injected
+}
+
+// WatchdogReport summarizes the supervisory governor's interventions.
+type WatchdogReport struct {
+	OscillationTrips int  // safe-mode entries for step flip-flop
+	PeggingTrips     int  // entries for pegging at the minimum step
+	MissStreakTrips  int  // entries for missed-deadline streaks
+	Trips            int  // total safe-mode entries
+	InSafeMode       bool // the run ended degraded
 }
 
 // Run executes one measurement run.
@@ -294,6 +422,9 @@ func Run(cfg Config) (*Result, error) {
 	if slack == 0 {
 		slack = 33 * time.Millisecond
 	}
+	spec.Faults = cfg.Faults.internal()
+	spec.Watchdog = cfg.Watchdog.internal()
+	spec.WatchdogSlack = sim.Duration(slack / time.Microsecond)
 
 	out, err := expt.Run(spec)
 	if err != nil {
@@ -330,6 +461,31 @@ func Run(cfg Config) (*Result, error) {
 			Utilization: float64(u.PP10K) / 10000,
 			MHz:         u.StepAt.MHz(),
 		})
+	}
+	if cfg.Faults != nil {
+		c := out.Faults
+		res.Faults = &FaultReport{
+			ClockChangeFails: c.ClockChangeFails,
+			SettleStalls:     c.SettleStalls,
+			ExtraStallTime:   c.ExtraStallTime.Std(),
+			SamplesDropped:   c.SamplesDropped,
+			SamplesGlitched:  c.SamplesGlitched,
+			TimerJitters:     c.TimerJitters,
+			TimerJitterTime:  c.TimerJitterTime.Std(),
+			TraceDrops:       c.TraceDrops,
+			TraceDelays:      c.TraceDelays,
+			Total:            c.Total(),
+		}
+	}
+	if out.Watchdog != nil {
+		tr := out.Watchdog.Trips()
+		res.Watchdog = &WatchdogReport{
+			OscillationTrips: tr.Oscillation,
+			PeggingTrips:     tr.Pegging,
+			MissStreakTrips:  tr.MissStreak,
+			Trips:            tr.Total(),
+			InSafeMode:       out.Watchdog.InSafeMode(),
+		}
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package clocksched
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -252,5 +253,108 @@ func TestRunProportionalPolicy(t *testing.T) {
 	}
 	if _, err := Run(Config{Policy: Policy{Proportional: true, AvgN: -1, TargetPercent: 70}}); err == nil {
 		t.Error("negative AvgN accepted")
+	}
+}
+
+func TestRunFaultedDeterministic(t *testing.T) {
+	// Same seed + same plan must reproduce the entire Result bit for bit,
+	// fault schedule included.
+	cfg := Config{
+		Workload: MPEG,
+		Policy:   PASTPegPeg(),
+		Seed:     7,
+		Duration: 5 * time.Second,
+		Faults: &FaultPlan{
+			ClockChangeFailProb: 0.02,
+			SettleStallProb:     0.05,
+			SampleDropProb:      0.01,
+			SampleGlitchProb:    0.01,
+			TimerJitterProb:     0.05,
+			TraceDropProb:       0.02,
+			TraceDelayProb:      0.02,
+		},
+		Watchdog: &WatchdogConfig{},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed+plan runs differ:\n%+v\n%+v", a, b)
+	}
+	if a.Faults == nil || a.Faults.Total == 0 {
+		t.Error("plan injected nothing")
+	}
+	if a.Watchdog == nil {
+		t.Error("watchdog report missing")
+	}
+}
+
+func TestRunNilPlanMatchesUnfaulted(t *testing.T) {
+	// Disabling the fault layer must not perturb an existing seeded run.
+	cfg := Config{Workload: MPEG, Policy: PASTPegPeg(), Seed: 7, Duration: 5 * time.Second}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &FaultPlan{} // zero plan: injector disabled
+	zero, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero.Faults = nil // the only permitted difference is the empty report
+	if !reflect.DeepEqual(plain, zero) {
+		t.Errorf("zero fault plan changed the run:\n%+v\n%+v", plain, zero)
+	}
+}
+
+func TestRunFaultReportAndWatchdogReport(t *testing.T) {
+	res, err := Run(Config{
+		Workload: MPEG,
+		Policy:   PASTPegPeg(),
+		Seed:     1,
+		Duration: 10 * time.Second,
+		Faults:   &FaultPlan{ClockChangeFailProb: 0.01},
+		Watchdog: &WatchdogConfig{},
+	})
+	if err != nil {
+		t.Fatalf("faulted run errored: %v", err)
+	}
+	if res.Faults == nil || res.Faults.ClockChangeFails == 0 {
+		t.Fatalf("fault report = %+v", res.Faults)
+	}
+	if res.Faults.Total != res.Faults.ClockChangeFails {
+		t.Errorf("only clock fails enabled, but total %d != %d",
+			res.Faults.Total, res.Faults.ClockChangeFails)
+	}
+	if res.Watchdog == nil {
+		t.Fatal("watchdog report missing")
+	}
+}
+
+func TestRunWatchdogNeedsPolicy(t *testing.T) {
+	_, err := Run(Config{
+		Workload: MPEG,
+		Policy:   ConstantPolicy(206.4, false),
+		Duration: time.Second,
+		Watchdog: &WatchdogConfig{},
+	})
+	if err == nil {
+		t.Fatal("watchdog over a constant policy should be rejected")
+	}
+}
+
+func TestRunBadFaultPlanRejected(t *testing.T) {
+	_, err := Run(Config{
+		Workload: MPEG,
+		Duration: time.Second,
+		Faults:   &FaultPlan{ClockChangeFailProb: 1.5},
+	})
+	if err == nil {
+		t.Fatal("probability 1.5 accepted")
 	}
 }

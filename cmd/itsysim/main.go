@@ -30,6 +30,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload jitter seed")
 		duration = flag.Duration("duration", 0, "run length (0 = workload's natural length)")
 		trace    = flag.Bool("trace", false, "dump the per-quantum utilization/frequency trace")
+		faults   = flag.String("faults", "",
+			"fault injection plan: comma-separated key=value pairs among "+
+				"clockfail, stall, drop, glitch, jitter, tracedrop, tracedelay "+
+				"(probabilities in [0,1]), e.g. clockfail=0.01,jitter=0.05")
+		watchdog = flag.Bool("watchdog", false,
+			"wrap the policy in the supervisory watchdog governor")
 	)
 	flag.Parse()
 
@@ -38,11 +44,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
 		os.Exit(2)
 	}
+	plan, err := parseFaults(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itsysim:", err)
+		os.Exit(2)
+	}
+	var wd *clocksched.WatchdogConfig
+	if *watchdog {
+		wd = &clocksched.WatchdogConfig{}
+	}
 	res, err := clocksched.Run(clocksched.Config{
 		Workload: clocksched.Workload(*workloadName),
 		Policy:   pol,
 		Seed:     *seed,
 		Duration: *duration,
+		Faults:   plan,
+		Watchdog: wd,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
@@ -58,6 +75,22 @@ func main() {
 		res.Deadlines, res.Misses, res.MaxLateness)
 	fmt.Printf("clock changes:   %d (stall %v), voltage changes: %d\n",
 		res.ClockChanges, res.StallTime, res.VoltageChanges)
+	if f := res.Faults; f != nil {
+		fmt.Printf("faults injected: %d (clock fails %d, stalls %d/+%v, samples %d dropped/%d glitched,\n"+
+			"                 timer jitter %d/+%v, trace %d dropped/%d delayed)\n",
+			f.Total, f.ClockChangeFails, f.SettleStalls, f.ExtraStallTime.Round(time.Microsecond),
+			f.SamplesDropped, f.SamplesGlitched,
+			f.TimerJitters, f.TimerJitterTime.Round(time.Microsecond),
+			f.TraceDrops, f.TraceDelays)
+	}
+	if w := res.Watchdog; w != nil {
+		state := "healthy"
+		if w.InSafeMode {
+			state = "ended in safe mode"
+		}
+		fmt.Printf("watchdog:        %d trips (oscillation %d, pegging %d, miss streaks %d), %s\n",
+			w.Trips, w.OscillationTrips, w.PeggingTrips, w.MissStreakTrips, state)
+	}
 
 	fmt.Println("residency:")
 	mhzs := make([]float64, 0, len(res.TimeAtMHz))
@@ -163,6 +196,44 @@ func parsePolicy(spec string) (clocksched.Policy, error) {
 		LoPercent: lo, HiPercent: hi,
 		VoltageScale: vs,
 	}, nil
+}
+
+// parseFaults builds a fault plan from "key=prob,key=prob" pairs; an empty
+// spec means no injection.
+func parseFaults(spec string) (*clocksched.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &clocksched.FaultPlan{}
+	for _, pair := range strings.Split(spec, ",") {
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("fault spec wants key=prob, got %q", pair)
+		}
+		p, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad fault probability %q for %q", kv[1], kv[0])
+		}
+		switch kv[0] {
+		case "clockfail":
+			plan.ClockChangeFailProb = p
+		case "stall":
+			plan.SettleStallProb = p
+		case "drop":
+			plan.SampleDropProb = p
+		case "glitch":
+			plan.SampleGlitchProb = p
+		case "jitter":
+			plan.TimerJitterProb = p
+		case "tracedrop":
+			plan.TraceDropProb = p
+		case "tracedelay":
+			plan.TraceDelayProb = p
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q", kv[0])
+		}
+	}
+	return plan, nil
 }
 
 // parsePredictor maps "past" or "avgN" onto the AVG_N decay parameter.

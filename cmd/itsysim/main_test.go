@@ -131,3 +131,30 @@ func TestParsePolicyProportional(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaults(t *testing.T) {
+	if p, err := parseFaults(""); p != nil || err != nil {
+		t.Errorf("empty spec = %v, %v, want nil plan", p, err)
+	}
+	p, err := parseFaults("clockfail=0.01,jitter=0.05,drop=0.001,glitch=0.002,stall=0.1,tracedrop=0.01,tracedelay=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ClockChangeFailProb != 0.01 || p.TimerJitterProb != 0.05 ||
+		p.SampleDropProb != 0.001 || p.SampleGlitchProb != 0.002 ||
+		p.SettleStallProb != 0.1 || p.TraceDropProb != 0.01 || p.TraceDelayProb != 0.02 {
+		t.Errorf("parsed plan = %+v", p)
+	}
+	for _, bad := range []string{
+		"clockfail",       // no value
+		"clockfail=x",     // not a number
+		"clockfail=1.5",   // out of range
+		"clockfail=-0.1",  // negative
+		"warp=0.5",        // unknown kind
+		"clockfail=0.1,,", // empty pair
+	} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("parseFaults(%q) accepted", bad)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"clocksched/internal/fault"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
 )
@@ -33,6 +34,11 @@ type Config struct {
 	SupplyVolts float64
 	// ShuntOhms is the sense-resistor value, 0.02 Ω in the paper.
 	ShuntOhms float64
+	// Faults optionally injects acquisition-side failures: dropped
+	// conversions (the instrument holds its previous reading, as a real
+	// sample-and-hold front end would) and additive glitches on the shunt
+	// voltage. Nil means a perfect instrument.
+	Faults *fault.Injector
 }
 
 // DefaultConfig returns the paper's instrument settings.
@@ -97,13 +103,24 @@ func Sample(rec *power.Recorder, start, end sim.Time, cfg Config) (Capture, erro
 		return Capture{}, errors.New("daq: capture window shorter than one sample interval")
 	}
 	cap := Capture{Config: cfg, Start: start, Samples: make([]float64, 0, n)}
+	held := 0.0 // last good quantized reading, for sample-and-hold drops
 	for i := 0; i < n; i++ {
 		t := start + sim.Time(i)*cfg.SampleInterval
+		if cfg.Faults.DropSample() {
+			// Conversion lost: the instrument repeats its previous
+			// reading (zero before the first good conversion).
+			cap.Samples = append(cap.Samples, held)
+			continue
+		}
 		w, err := rec.PowerAt(t)
 		if err != nil {
 			return Capture{}, err
 		}
-		cap.Samples = append(cap.Samples, cfg.quantize(w))
+		if g, ok := cfg.Faults.GlitchWatts(); ok {
+			w += g // quantize clips the result to [0, full scale]
+		}
+		held = cfg.quantize(w)
+		cap.Samples = append(cap.Samples, held)
 	}
 	return cap, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"clocksched/internal/cpu"
+	"clocksched/internal/fault"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
 )
@@ -173,6 +174,97 @@ func TestEmptyCaptureStats(t *testing.T) {
 	c.Config = DefaultConfig()
 	if c.AveragePower() != 0 || c.PeakPower() != 0 || c.Energy() != 0 {
 		t.Error("empty capture should report zeros")
+	}
+}
+
+func TestSampleDropsHoldPreviousReading(t *testing.T) {
+	// A ramp timeline makes drops visible: every held sample repeats its
+	// predecessor exactly, which a fresh conversion of the ramp never does.
+	r := power.NewRecorder(power.DefaultModel(),
+		power.State{Step: cpu.MaxStep, V: cpu.VHigh, Mode: power.ModeActive})
+	for ms := 0; ms < 1000; ms++ {
+		r.SetWatts(sim.Time(ms)*sim.Millisecond, 1.0+0.005*float64(ms))
+	}
+	r.Finish(sim.Second)
+
+	cfg := DefaultConfig()
+	in, err := fault.NewInjector(&fault.Plan{SampleDropProb: 0.2}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = in
+	cap, err := Sample(r, 0, sim.Second, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := in.Counts().SamplesDropped
+	if drops == 0 {
+		t.Fatal("20% drop rate injected nothing in 5000 samples")
+	}
+	if len(cap.Samples) != 5000 {
+		t.Fatalf("drops changed sample count: %d", len(cap.Samples))
+	}
+	// Count samples identical to their predecessor; with 5 conversions per
+	// 1 ms ramp segment, 4/5 of clean adjacent pairs also repeat, so only
+	// check held readings never exceed the running maximum of the ramp.
+	for i := 1; i < len(cap.Samples); i++ {
+		if cap.Samples[i] < cap.Samples[i-1]-1e-9 {
+			t.Fatalf("sample %d decreased on a rising ramp: %v < %v",
+				i, cap.Samples[i], cap.Samples[i-1])
+		}
+	}
+}
+
+func TestSampleGlitchesStayClipped(t *testing.T) {
+	rec := constantRecorder(7.9, sim.Second) // near full scale
+	cfg := DefaultConfig()
+	in, err := fault.NewInjector(&fault.Plan{SampleGlitchProb: 1, SampleGlitchWatts: 1.0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = in
+	cap, err := Sample(rec, 0, sim.Second, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Counts().SamplesGlitched != len(cap.Samples) {
+		t.Errorf("probability-1 glitches hit %d of %d samples",
+			in.Counts().SamplesGlitched, len(cap.Samples))
+	}
+	saw := false
+	for i, s := range cap.Samples {
+		if s < 0 || s > cfg.FullScaleWatts {
+			t.Fatalf("sample %d = %v escaped ADC range", i, s)
+		}
+		if math.Abs(s-7.9) > 0.01 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("±1 W glitches left every reading within 0.01 W of truth")
+	}
+}
+
+func TestSampleFaultsDeterministic(t *testing.T) {
+	rec := constantRecorder(2.0, sim.Second)
+	run := func() []float64 {
+		cfg := DefaultConfig()
+		in, err := fault.NewInjector(&fault.Plan{SampleDropProb: 0.1, SampleGlitchProb: 0.1}, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = in
+		cap, err := Sample(rec, 0, sim.Second, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cap.Samples
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, sample %d differs: %v vs %v", i, a[i], b[i])
+		}
 	}
 }
 

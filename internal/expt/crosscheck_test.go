@@ -20,7 +20,7 @@ import (
 func TestKernelMatchesSignalAnalysis(t *testing.T) {
 	// A governor whose bounds never trigger keeps the clock constant
 	// while its predictor observes the real kernel's utilization.
-	pred := policy.NewAvgN(3)
+	pred := policy.MustAvgN(3)
 	gov := policy.MustGovernor(pred, policy.One{}, policy.One{},
 		policy.Bounds{Lo: 0, Hi: policy.FullUtil}, false)
 
@@ -104,7 +104,7 @@ func TestPureAverageNoBetter(t *testing.T) {
 	// the same response lag — "simple averaging suffers from the same
 	// problems ... if you do not average the appropriate period").
 	for _, window := range []int{3, 4, 7, 12} {
-		win := policy.NewSimpleWindow(window)
+		win := policy.MustSimpleWindow(window)
 		series := make([]float64, 0, len(wave))
 		for _, u := range wave {
 			w := win.Observe(int(u * policy.FullUtil))
@@ -120,7 +120,7 @@ func TestPureAverageNoBetter(t *testing.T) {
 	// The lone exception: a window equal to the period is flat — but that
 	// requires knowing the period, which is the information no interval
 	// policy has.
-	win := policy.NewSimpleWindow(10)
+	win := policy.MustSimpleWindow(10)
 	series := make([]float64, 0, len(wave))
 	for _, u := range wave {
 		w := win.Observe(int(u * policy.FullUtil))
@@ -149,7 +149,7 @@ func TestSluggishPolicyDesynchronizesAV(t *testing.T) {
 		}
 		return out.Workload.Metrics().Desync("frame", "audio")
 	}
-	sluggish := run(policy.MustGovernor(policy.NewAvgN(9), policy.One{}, policy.One{},
+	sluggish := run(policy.MustGovernor(policy.MustAvgN(9), policy.One{}, policy.One{},
 		policy.BestBounds, false))
 	best := run(policy.MustGovernor(policy.NewPAST(), policy.Peg{}, policy.Peg{},
 		policy.BestBounds, false))

@@ -32,7 +32,7 @@ func TestWorkloadPolicyMatrix(t *testing.T) {
 		},
 		"avg9-one-one": func() RunSpec {
 			return RunSpec{
-				Policy: policy.MustGovernor(policy.NewAvgN(9), policy.One{}, policy.One{},
+				Policy: policy.MustGovernor(policy.MustAvgN(9), policy.One{}, policy.One{},
 					policy.PeringBounds, true),
 				InitialStep: cpu.MaxStep,
 			}
@@ -55,7 +55,7 @@ func TestWorkloadPolicyMatrix(t *testing.T) {
 			return RunSpec{Policy: policy.NewDeadlineScheduler(), InitialStep: cpu.MaxStep}
 		},
 		"proportional": func() RunSpec {
-			prop, err := policy.NewProportional(policy.NewAvgN(3), 7000, true)
+			prop, err := policy.NewProportional(policy.MustAvgN(3), 7000, true)
 			if err != nil {
 				panic(err)
 			}
@@ -131,9 +131,9 @@ func TestPredictorZooOnMPEG(t *testing.T) {
 
 	preds := []func() policy.Predictor{
 		func() policy.Predictor { return policy.NewPAST() },
-		func() policy.Predictor { return policy.NewAvgN(3) },
-		func() policy.Predictor { return policy.NewAvgN(9) },
-		func() policy.Predictor { return policy.NewSimpleWindow(4) },
+		func() policy.Predictor { return policy.MustAvgN(3) },
+		func() policy.Predictor { return policy.MustAvgN(9) },
+		func() policy.Predictor { return policy.MustSimpleWindow(4) },
 		func() policy.Predictor { return policy.NewLongShort() },
 		func() policy.Predictor { return policy.NewCycle() },
 		func() policy.Predictor { return policy.NewPattern() },

@@ -10,7 +10,9 @@ import (
 
 	"clocksched/internal/cpu"
 	"clocksched/internal/daq"
+	"clocksched/internal/fault"
 	"clocksched/internal/kernel"
+	"clocksched/internal/metrics"
 	"clocksched/internal/policy"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
@@ -36,6 +38,24 @@ type RunSpec struct {
 	InitialV    cpu.Voltage
 	// Model overrides the power model (nil: the calibrated Itsy model).
 	Model *power.Model
+
+	// Faults, when non-nil and non-zero, injects hardware/driver failures
+	// into the run. The injector draws from its own RNG stream derived
+	// from Seed, so a nil plan is bit-identical to the pre-fault-layer
+	// behaviour and the same seed+plan always injects the same schedule.
+	Faults *fault.Plan
+	// Watchdog, when non-nil, wraps Policy in a supervisory
+	// policy.Watchdog with these settings (zero fields take defaults).
+	Watchdog *policy.WatchdogConfig
+	// WatchdogSlack is the lateness beyond which a completed deadline
+	// counts against the watchdog's miss-streak detector; zero selects
+	// 33 ms, matching the public API's default perceptual slack.
+	WatchdogSlack sim.Duration
+	// EventCap bounds the number of events the engine may fire; zero
+	// derives a generous cap from the run length. The cap converts a
+	// runaway schedule (a policy or fault interaction that would spin
+	// forever at one instant) into a structured error instead of a hang.
+	EventCap uint64
 }
 
 // RunOutcome bundles everything a measurement run produced.
@@ -44,6 +64,12 @@ type RunOutcome struct {
 	Workload workload.Workload
 	Kernel   *kernel.Kernel
 	Capture  daq.Capture
+
+	// Faults tallies what the injector actually did (zero when no plan
+	// was given).
+	Faults fault.Counts
+	// Watchdog is the supervisory wrapper, when one was requested.
+	Watchdog *policy.Watchdog
 
 	// EnergyJ is the DAQ-integrated energy of the whole run, the
 	// quantity Table 2 reports.
@@ -90,6 +116,10 @@ func buildWorkload(spec RunSpec) (workload.Workload, error) {
 
 // Run executes one measurement run.
 func Run(spec RunSpec) (*RunOutcome, error) {
+	// The workload is built against the unwrapped policy: MPEG inspects
+	// spec.Policy for a DeadlineScheduler to cooperate with, and that
+	// check must see through to the real policy, so the watchdog wraps
+	// only afterwards.
 	w, err := buildWorkload(spec)
 	if err != nil {
 		return nil, err
@@ -99,11 +129,45 @@ func Run(spec RunSpec) (*RunOutcome, error) {
 		length = w.Duration()
 	}
 
+	inj, err := fault.NewInjector(spec.Faults, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var wd *policy.Watchdog
+	pol := spec.Policy
+	if spec.Watchdog != nil {
+		if pol == nil {
+			return nil, fmt.Errorf("expt: watchdog requested but no policy to supervise")
+		}
+		wd, err = policy.NewWatchdog(pol, *spec.Watchdog)
+		if err != nil {
+			return nil, err
+		}
+		pol = wd
+		slack := spec.WatchdogSlack
+		if slack == 0 {
+			slack = 33 * sim.Millisecond
+		}
+		w.Metrics().OnRecord = func(d metrics.Deadline) {
+			wd.NoteDeadline(d.Late() > slack)
+		}
+	}
+
 	eng := &sim.Engine{}
 	cfg := kernel.DefaultConfig()
 	cfg.InitialStep = spec.InitialStep
 	cfg.InitialV = spec.InitialV
-	cfg.Policy = spec.Policy
+	cfg.Policy = pol
+	cfg.Faults = inj
+	cfg.EventCap = spec.EventCap
+	if cfg.EventCap == 0 {
+		// A real run fires a handful of events per quantum plus a few per
+		// workload burst; a thousand per simulated millisecond is two
+		// orders of magnitude of headroom, yet a zero-delay spin still
+		// hits it in microseconds of wall time.
+		cfg.EventCap = uint64(length/sim.Millisecond)*1000 + 1_000_000
+	}
 	if spec.Model != nil {
 		cfg.Model = *spec.Model
 	}
@@ -118,7 +182,9 @@ func Run(spec RunSpec) (*RunOutcome, error) {
 		return nil, err
 	}
 
-	cap, err := daq.Sample(k.Recorder(), 0, length, daq.DefaultConfig())
+	dcfg := daq.DefaultConfig()
+	dcfg.Faults = inj
+	cap, err := daq.Sample(k.Recorder(), 0, length, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +194,8 @@ func Run(spec RunSpec) (*RunOutcome, error) {
 		Workload:  w,
 		Kernel:    k,
 		Capture:   cap,
+		Faults:    inj.Counts(),
+		Watchdog:  wd,
 		EnergyJ:   cap.Energy(),
 		AvgPowerW: cap.AveragePower(),
 	}

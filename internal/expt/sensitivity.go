@@ -36,7 +36,7 @@ func ThresholdSensitivity(seed uint64) ([]SensitivityCell, error) {
 	var cells []SensitivityCell
 	for _, w := range workloads {
 		for _, g := range grids {
-			gov := policy.MustGovernor(policy.NewAvgN(9), policy.One{}, policy.One{},
+			gov := policy.MustGovernor(policy.MustAvgN(9), policy.One{}, policy.One{},
 				policy.Bounds{Lo: g.lo * 100, Hi: g.hi * 100}, false)
 			out, err := Run(RunSpec{
 				Workload: w, Seed: seed, Duration: length,

@@ -24,7 +24,7 @@ type Table1Row struct {
 // "5965", is a transposition typo for 5695; the recurrence and the
 // following row only follow from 5695.)
 func Table1() []Table1Row {
-	pred := policy.NewAvgN(9)
+	pred := policy.MustAvgN(9)
 	rows := make([]Table1Row, 0, 20)
 	for i := 0; i < 20; i++ {
 		u := 0

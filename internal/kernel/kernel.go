@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"clocksched/internal/cpu"
+	"clocksched/internal/fault"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
 )
@@ -42,6 +43,15 @@ type Config struct {
 	// behavior." Zero means unbounded; once the cap is reached, further
 	// decisions go unrecorded (scheduling itself is unaffected).
 	SchedLogCap int
+	// Faults, when non-nil, injects hardware and kernel misbehaviour:
+	// failed clock changes, extended PLL stalls, timer jitter, and
+	// dropped or delayed scheduler-log records. Nil injects nothing and
+	// leaves the simulation bit-identical to a fault-free build.
+	Faults *fault.Injector
+	// EventCap bounds how many engine events the run may fire; a run
+	// exceeding it aborts with a diagnostic instead of hanging. Zero
+	// leaves the engine's own MaxEvents setting untouched.
+	EventCap uint64
 }
 
 // DefaultConfig returns the paper's measurement configuration: no policy
@@ -92,14 +102,15 @@ type Kernel struct {
 	stalling   bool
 	completion sim.Handle // pending burst-completion event for cur
 
-	lastAccount  sim.Time
-	busyQuantum  sim.Duration
-	rec          *power.Recorder
-	schedLog     []SchedEntry
-	utilLog      []UtilSample
-	speedChanges int
-	voltChanges  int
-	stallTime    sim.Duration
+	lastAccount   sim.Time
+	busyQuantum   sim.Duration
+	rec           *power.Recorder
+	schedLog      []SchedEntry
+	utilLog       []UtilSample
+	speedChanges  int
+	failedChanges int
+	voltChanges   int
+	stallTime     sim.Duration
 
 	residency    [cpu.NumSteps]sim.Duration
 	lastResStamp sim.Time
@@ -111,6 +122,32 @@ type Kernel struct {
 	inProgram bool
 
 	finished bool
+	// err is the first internal failure; once set the engine is halted
+	// and Run returns it instead of a result.
+	err error
+}
+
+// Structured failure classes a run can report. Callers match them with
+// errors.Is on the error returned by Run.
+var (
+	// ErrProgramSpin: a program returned zero-length actions without
+	// bound, so the simulation could make no progress.
+	ErrProgramSpin = errors.New("kernel: program spins on zero-length actions")
+	// ErrUnknownAction: a program returned an action kind the kernel
+	// does not implement.
+	ErrUnknownAction = errors.New("kernel: program returned unknown action")
+)
+
+// fail records the first internal failure and halts the engine, so the run
+// unwinds back to Run with a diagnostic instead of panicking mid-event.
+func (k *Kernel) fail(err error) {
+	if err == nil {
+		return
+	}
+	if k.err == nil {
+		k.err = err
+	}
+	k.eng.Fail(err)
 }
 
 // New creates a kernel on the given engine. The engine must be at time 0.
@@ -172,6 +209,10 @@ func (k *Kernel) UtilLog() []UtilSample { return k.utilLog }
 // SpeedChanges returns how many clock-step changes the policy made.
 func (k *Kernel) SpeedChanges() int { return k.speedChanges }
 
+// FailedSpeedChanges returns how many requested clock-step changes were
+// lost to injected clock-change failures.
+func (k *Kernel) FailedSpeedChanges() int { return k.failedChanges }
+
 // VoltageChanges returns how many core-voltage changes the policy made.
 func (k *Kernel) VoltageChanges() int { return k.voltChanges }
 
@@ -223,13 +264,19 @@ func (k *Kernel) Wake(p *Process) {
 }
 
 // Run executes the simulation until the given time, then closes the power
-// timeline. It may be called once.
+// timeline. It may be called once. An internal inconsistency — a spinning
+// program, an unschedulable event, a regressing power timeline, or the
+// configured event cap — aborts the run and is returned as a wrapped,
+// structured error; Run never panics on them.
 func (k *Kernel) Run(until sim.Time) error {
 	if k.finished {
 		return errors.New("kernel: Run called twice")
 	}
 	if until <= k.eng.Now() {
 		return fmt.Errorf("kernel: Run until %v is not in the future", until)
+	}
+	if k.cfg.EventCap > 0 {
+		k.eng.MaxEvents = k.cfg.EventCap
 	}
 	// Arm the periodic clock interrupt.
 	if _, err := k.eng.At(k.eng.Now()+k.cfg.Quantum, k.tick); err != nil {
@@ -238,11 +285,19 @@ func (k *Kernel) Run(until sim.Time) error {
 	if k.cur == nil && !k.stalling {
 		k.dispatch(k.eng.Now())
 	}
-	k.eng.RunUntil(until)
+	err := k.eng.RunUntil(until)
+	k.finished = true
+	if k.err == nil && err != nil {
+		k.err = err
+	}
+	if k.err != nil {
+		return fmt.Errorf("kernel: run aborted at %v: %w", k.eng.Now(), k.err)
+	}
 	k.account(until)
 	k.stampResidency(until)
-	k.rec.Finish(until)
-	k.finished = true
+	if err := k.rec.Finish(until); err != nil {
+		return fmt.Errorf("kernel: closing power timeline: %w", err)
+	}
 	return nil
 }
 
@@ -274,11 +329,18 @@ func (k *Kernel) stampResidency(now sim.Time) {
 }
 
 // logDecision records one scheduling decision, honouring the configured
-// log capacity (the paper's kernel-memory limitation).
+// log capacity (the paper's kernel-memory limitation) and any injected
+// trace faults: a record can be dropped outright or written with a late
+// timestamp, leaving the log non-monotonic the way deferred log writes on
+// real hardware would.
 func (k *Kernel) logDecision(e SchedEntry) {
 	if k.cfg.SchedLogCap > 0 && len(k.schedLog) >= k.cfg.SchedLogCap {
 		return
 	}
+	if k.cfg.Faults.DropTraceEvent() {
+		return
+	}
+	e.At += k.cfg.Faults.TraceDelay()
 	k.schedLog = append(k.schedLog, e)
 }
 
@@ -291,7 +353,9 @@ func (k *Kernel) setPowerState(now sim.Time) {
 	case k.cur != nil:
 		mode = power.ModeActive
 	}
-	k.rec.SetState(now, power.State{Step: k.step, V: k.powerVolt, Mode: mode})
+	if err := k.rec.SetState(now, power.State{Step: k.step, V: k.powerVolt, Mode: mode}); err != nil {
+		k.fail(err)
+	}
 }
 
 // tick is the 100 Hz clock interrupt with the forced per-quantum scheduler
@@ -330,14 +394,18 @@ func (k *Kernel) tick(now sim.Time) {
 		k.dispatch(now)
 	}
 
-	// Re-arm the interrupt.
-	if _, err := k.eng.At(now+k.cfg.Quantum, k.tick); err != nil {
-		panic(err)
+	// Re-arm the interrupt, late when the injected timer jitter says so.
+	// Subsequent ticks re-align to the stretched schedule, so a jittered
+	// quantum runs long rather than the next one running short.
+	if _, err := k.eng.At(now+k.cfg.Quantum+k.cfg.Faults.TimerJitter(), k.tick); err != nil {
+		k.fail(fmt.Errorf("re-arming clock interrupt: %w", err))
 	}
 }
 
 // applySettings moves the clock step and voltage, modelling the PLL stall
-// and the voltage settle.
+// and the voltage settle. An injected clock-change failure leaves the step
+// untouched with no stall: the policy only learns of it from the unchanged
+// step at the next quantum.
 func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
 	s = s.Clamp()
 	if !cpu.VoltageOK(s, v) {
@@ -355,7 +423,7 @@ func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
 					k.setPowerState(t)
 				}
 			}); err != nil {
-				panic(err)
+				k.fail(fmt.Errorf("scheduling voltage settle: %w", err))
 			}
 		} else {
 			// Rising is effectively instantaneous.
@@ -363,16 +431,21 @@ func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
 		}
 	}
 	if s != k.step {
-		k.speedChanges++
-		k.stampResidency(now)
-		k.step = s
-		k.beginStall(now)
+		if k.cfg.Faults.ClockChangeFails() {
+			k.failedChanges++
+		} else {
+			k.speedChanges++
+			k.stampResidency(now)
+			k.step = s
+			k.beginStall(now, cpu.ClockChangeStall+k.cfg.Faults.ExtraSettle())
+		}
 	}
 	k.setPowerState(now)
 }
 
-// beginStall suspends execution for the PLL relock time.
-func (k *Kernel) beginStall(now sim.Time) {
+// beginStall suspends execution while the PLL relocks, for the given stall
+// time (the nominal 200 µs plus any injected extension).
+func (k *Kernel) beginStall(now sim.Time, stall sim.Duration) {
 	// Preempt whatever is running; progress stops during the stall.
 	if k.cur != nil {
 		k.eng.Cancel(k.completion)
@@ -384,12 +457,12 @@ func (k *Kernel) beginStall(now sim.Time) {
 	}
 	k.stalling = true
 	k.setPowerState(now)
-	if _, err := k.eng.At(now+cpu.ClockChangeStall, func(t sim.Time) {
+	if _, err := k.eng.At(now+stall, func(t sim.Time) {
 		k.account(t)
 		k.stalling = false
 		k.dispatch(t)
 	}); err != nil {
-		panic(err)
+		k.fail(fmt.Errorf("scheduling PLL relock: %w", err))
 	}
 }
 
@@ -443,7 +516,8 @@ func (k *Kernel) armCompletion(p *Process, now sim.Time) {
 		k.dispatch(t)
 	})
 	if err != nil {
-		panic(err)
+		k.fail(fmt.Errorf("scheduling completion of %q: %w", p.name, err))
+		return
 	}
 	k.completion = h
 }
@@ -460,7 +534,11 @@ func (k *Kernel) advanceProgram(p *Process, now sim.Time) {
 	defer func() { k.inProgram = wasInProgram }()
 	for i := 0; ; i++ {
 		if i >= maxProgramSteps {
-			panic(fmt.Sprintf("kernel: program %q spins on zero-length actions", p.name))
+			// Quarantine the broken program and abort the run: leaving it
+			// runnable would wedge the scheduler.
+			p.state = StateExited
+			k.fail(fmt.Errorf("%w: %q", ErrProgramSpin, p.name))
+			return
 		}
 		a := p.prog.Next(now)
 		if a.SideEffect != nil {
@@ -505,7 +583,9 @@ func (k *Kernel) advanceProgram(p *Process, now sim.Time) {
 			p.state = StateExited
 			return
 		default:
-			panic(fmt.Sprintf("kernel: program %q returned unknown action %v", p.name, a.Kind))
+			p.state = StateExited
+			k.fail(fmt.Errorf("%w: %q returned %v", ErrUnknownAction, p.name, a.Kind))
+			return
 		}
 	}
 }
@@ -518,7 +598,8 @@ func (k *Kernel) sleepUntil(p *Process, t sim.Time) {
 		}
 	})
 	if err != nil {
-		panic(err)
+		k.fail(fmt.Errorf("scheduling wakeup of %q: %w", p.name, err))
+		return
 	}
 	p.wake = h
 }

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -458,17 +459,46 @@ func TestExitRemovesProcess(t *testing.T) {
 	}
 }
 
-func TestBrokenProgramPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero-action spin did not panic")
-		}
-	}()
+func TestBrokenProgramReturnsError(t *testing.T) {
 	_, k := newKernel(t, DefaultConfig())
-	k.Spawn(ProgramFunc{ProgName: "broken", Fn: func(sim.Time) Action {
+	p, err := k.Spawn(ProgramFunc{ProgName: "broken", Fn: func(sim.Time) Action {
 		return Compute(cpu.Burst{}) // zero work, forever
 	}})
-	k.Run(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.Second); !errors.Is(err, ErrProgramSpin) {
+		t.Fatalf("Run = %v, want ErrProgramSpin", err)
+	}
+	if p.State() != StateExited {
+		t.Errorf("broken program state = %v, want exited (quarantined)", p.State())
+	}
+}
+
+func TestUnknownActionReturnsError(t *testing.T) {
+	_, k := newKernel(t, DefaultConfig())
+	if _, err := k.Spawn(ProgramFunc{ProgName: "bogus", Fn: func(sim.Time) Action {
+		return Action{Kind: ActionKind(99)}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.Second); !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("Run = %v, want ErrUnknownAction", err)
+	}
+}
+
+func TestEventCapAbortsRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EventCap = 100
+	_, k := newKernel(t, cfg)
+	// A well-behaved busy loop still fires completion + tick events; the
+	// tiny cap must abort the run with a diagnostic instead of hanging.
+	if _, err := k.Spawn(busyLoop{burst: cpu.Burst{Core: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(100*sim.Second); !errors.Is(err, sim.ErrEventCap) {
+		t.Fatalf("Run = %v, want ErrEventCap", err)
+	}
 }
 
 func TestRunTwiceFails(t *testing.T) {

@@ -28,11 +28,19 @@ func (d Deadline) Late() sim.Duration { return d.Done - d.Due }
 // ready to use.
 type Collector struct {
 	deadlines []Deadline
+	// OnRecord, when set, observes each deadline as it is recorded. The
+	// run harness uses it to feed the watchdog's miss detector without
+	// policies importing this package.
+	OnRecord func(Deadline)
 }
 
 // Record notes one completed obligation.
 func (c *Collector) Record(name string, due, done sim.Time) {
-	c.deadlines = append(c.deadlines, Deadline{Name: name, Due: due, Done: done})
+	d := Deadline{Name: name, Due: due, Done: done}
+	c.deadlines = append(c.deadlines, d)
+	if c.OnRecord != nil {
+		c.OnRecord(d)
+	}
 }
 
 // Deadlines returns everything recorded.

@@ -10,7 +10,7 @@ import (
 // Reproduce the first rows of the paper's Table 1: AVG_9 observing
 // fully-busy quanta.
 func ExampleAvgN() {
-	pred := policy.NewAvgN(9)
+	pred := policy.MustAvgN(9)
 	for i := 0; i < 5; i++ {
 		fmt.Println(pred.Observe(policy.FullUtil))
 	}

@@ -231,7 +231,7 @@ func TestGovernorName(t *testing.T) {
 	if g.Name() != want {
 		t.Errorf("Name = %q, want %q", g.Name(), want)
 	}
-	gv := MustGovernor(NewAvgN(9), One{}, Double{}, PeringBounds, true)
+	gv := MustGovernor(MustAvgN(9), One{}, Double{}, PeringBounds, true)
 	if !strings.Contains(gv.Name(), "AVG_9") || !strings.Contains(gv.Name(), "voltage scaling") {
 		t.Errorf("Name = %q", gv.Name())
 	}

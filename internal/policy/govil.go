@@ -50,8 +50,8 @@ const (
 // NewLongShort returns the LONG_SHORT predictor with the standard windows.
 func NewLongShort() *LongShort {
 	return &LongShort{
-		long:  NewSimpleWindow(longWindow),
-		short: NewSimpleWindow(shortWindow),
+		long:  MustSimpleWindow(longWindow),
+		short: MustSimpleWindow(shortWindow),
 	}
 }
 
@@ -131,7 +131,7 @@ type Cycle struct {
 func NewCycle() *Cycle {
 	return &Cycle{
 		hist:      newHistory(32),
-		fallback:  NewAvgN(3),
+		fallback:  MustAvgN(3),
 		MaxPeriod: 16,
 		Tolerance: 500,
 	}
@@ -221,7 +221,7 @@ type Pattern struct {
 func NewPattern() *Pattern {
 	return &Pattern{
 		hist:      newHistory(32),
-		fallback:  NewAvgN(3),
+		fallback:  MustAvgN(3),
 		Length:    4,
 		Tolerance: 500,
 	}

@@ -31,8 +31,8 @@ func TestLongShortRespondsBetweenItsWindows(t *testing.T) {
 	// After a step from idle to busy, LONG_SHORT's estimate sits between
 	// a pure 3-quantum average and a pure 12-quantum average.
 	ls := NewLongShort()
-	long := NewSimpleWindow(longWindow)
-	short := NewSimpleWindow(shortWindow)
+	long := MustSimpleWindow(longWindow)
+	short := MustSimpleWindow(shortWindow)
 	for i := 0; i < longWindow; i++ {
 		ls.Observe(0)
 		long.Observe(0)
@@ -89,7 +89,7 @@ func TestCycleDetectsPeriodicWave(t *testing.T) {
 		}
 		errCycle += d
 	}
-	avg := NewAvgN(3)
+	avg := MustAvgN(3)
 	errAvg := 0
 	for i := 0; i < 59; i++ {
 		u := FullUtil

@@ -62,17 +62,26 @@ type AvgN struct {
 	w float64
 }
 
-// NewAvgN returns an AVG_N predictor. It panics if n is negative, a
-// programming error.
-func NewAvgN(n int) *AvgN {
+// NewAvgN returns an AVG_N predictor, or an error if n is negative.
+func NewAvgN(n int) (*AvgN, error) {
 	if n < 0 {
-		panic(fmt.Sprintf("policy: AVG_%d is meaningless", n))
+		return nil, fmt.Errorf("policy: AVG_%d is meaningless", n)
 	}
-	return &AvgN{n: n}
+	return &AvgN{n: n}, nil
+}
+
+// MustAvgN is NewAvgN that panics on error, for composing literals in tests
+// and experiment tables where n is a known-good constant.
+func MustAvgN(n int) *AvgN {
+	a, err := NewAvgN(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // NewPAST returns the PAST predictor (AVG_0).
-func NewPAST() *AvgN { return NewAvgN(0) }
+func NewPAST() *AvgN { return MustAvgN(0) }
 
 // N returns the decay parameter.
 func (a *AvgN) N() int { return a.n }
@@ -110,13 +119,23 @@ type SimpleWindow struct {
 	full bool
 }
 
-// NewSimpleWindow returns a window averaging the last n quanta. It panics
+// NewSimpleWindow returns a window averaging the last n quanta, or an error
 // if n < 1.
-func NewSimpleWindow(n int) *SimpleWindow {
+func NewSimpleWindow(n int) (*SimpleWindow, error) {
 	if n < 1 {
-		panic(fmt.Sprintf("policy: window of %d quanta is meaningless", n))
+		return nil, fmt.Errorf("policy: window of %d quanta is meaningless", n)
 	}
-	return &SimpleWindow{hist: make([]int, n)}
+	return &SimpleWindow{hist: make([]int, n)}, nil
+}
+
+// MustSimpleWindow is NewSimpleWindow that panics on error, for composing
+// literals where n is a known-good constant.
+func MustSimpleWindow(n int) *SimpleWindow {
+	s, err := NewSimpleWindow(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Observe implements Predictor.

@@ -16,7 +16,7 @@ func TestAvg9Table1(t *testing.T) {
 		6861, 7175, 7458, 7712, 7941, // 15 active quanta
 		7146, 6432, 5789, 5210, 4689, // 5 idle quanta
 	}
-	a := NewAvgN(9)
+	a := MustAvgN(9)
 	for i, w := range want {
 		u := 0
 		if i < 15 {
@@ -36,7 +36,7 @@ func TestAvg9Table1Actions(t *testing.T) {
 	// The worked example starts from an idle state, i.e. already at the
 	// bottom step, so the early low-average quanta produce no-op
 	// scale-downs that the table does not annotate.
-	g := MustGovernor(NewAvgN(9), One{}, One{}, PeringBounds, false)
+	g := MustGovernor(MustAvgN(9), One{}, One{}, PeringBounds, false)
 	var ups, downs []int
 	cur := stepMin
 	for i := 0; i < 20; i++ {
@@ -85,7 +85,7 @@ func TestAvgNLagBeforeFullSpeed(t *testing.T) {
 	// for 120 ms (12 quanta)": AVG_9 with a 70% upper bound takes 12
 	// fully-busy quanta before its weighted utilization first crosses the
 	// bound. With peg scaling that is exactly when 206.4 MHz is reached.
-	g := MustGovernor(NewAvgN(9), Peg{}, Peg{}, PeringBounds, false)
+	g := MustGovernor(MustAvgN(9), Peg{}, Peg{}, PeringBounds, false)
 	cur := stepMin
 	quanta := 0
 	for cur != stepMax {
@@ -102,7 +102,7 @@ func TestAvgNLagBeforeFullSpeed(t *testing.T) {
 
 	// With one-step scaling the first upward move also happens at
 	// quantum 12; the top arrives only after ten further steps.
-	g2 := MustGovernor(NewAvgN(9), One{}, One{}, PeringBounds, false)
+	g2 := MustGovernor(MustAvgN(9), One{}, One{}, PeringBounds, false)
 	cur = stepMin
 	firstUp := 0
 	for i := 1; i <= 30 && firstUp == 0; i++ {
@@ -118,7 +118,7 @@ func TestAvgNLagBeforeFullSpeed(t *testing.T) {
 }
 
 func TestAvgNClampsInput(t *testing.T) {
-	a := NewAvgN(0)
+	a := MustAvgN(0)
 	if got := a.Observe(-500); got != 0 {
 		t.Errorf("Observe(-500) = %d", got)
 	}
@@ -128,7 +128,7 @@ func TestAvgNClampsInput(t *testing.T) {
 }
 
 func TestAvgNReset(t *testing.T) {
-	a := NewAvgN(5)
+	a := MustAvgN(5)
 	a.Observe(FullUtil)
 	a.Observe(FullUtil)
 	if a.Weighted() == 0 {
@@ -141,25 +141,28 @@ func TestAvgNReset(t *testing.T) {
 }
 
 func TestAvgNNames(t *testing.T) {
-	if NewAvgN(9).Name() != "AVG_9" {
-		t.Errorf("Name = %q", NewAvgN(9).Name())
+	if MustAvgN(9).Name() != "AVG_9" {
+		t.Errorf("Name = %q", MustAvgN(9).Name())
 	}
-	if NewAvgN(9).N() != 9 {
+	if MustAvgN(9).N() != 9 {
 		t.Error("N() wrong")
 	}
 }
 
-func TestNewAvgNPanics(t *testing.T) {
+func TestNewAvgNRejectsNegative(t *testing.T) {
+	if a, err := NewAvgN(-1); err == nil {
+		t.Fatalf("NewAvgN(-1) = %v, want error", a)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewAvgN(-1) did not panic")
+			t.Fatal("MustAvgN(-1) did not panic")
 		}
 	}()
-	NewAvgN(-1)
+	MustAvgN(-1)
 }
 
 func TestSimpleWindowAveraging(t *testing.T) {
-	s := NewSimpleWindow(4)
+	s := MustSimpleWindow(4)
 	// Figure 5 "going to idle": four active quanta then idles.
 	for i := 0; i < 4; i++ {
 		s.Observe(FullUtil)
@@ -177,7 +180,7 @@ func TestSimpleWindowAveraging(t *testing.T) {
 }
 
 func TestSimpleWindowPartialFill(t *testing.T) {
-	s := NewSimpleWindow(4)
+	s := MustSimpleWindow(4)
 	if got := s.Weighted(); got != 0 {
 		t.Errorf("empty window weighted = %d", got)
 	}
@@ -195,7 +198,7 @@ func TestSimpleWindowSlowSpeedup(t *testing.T) {
 	// so with a 70% bound the first two fully-busy recovery quanta
 	// produce no scale-up at all — "the processor speed increases very
 	// slowly".
-	s := NewSimpleWindow(4)
+	s := MustSimpleWindow(4)
 	for i := 0; i < 4; i++ {
 		s.Observe(0)
 	}
@@ -211,7 +214,7 @@ func TestSimpleWindowSlowSpeedup(t *testing.T) {
 }
 
 func TestSimpleWindowResetAndName(t *testing.T) {
-	s := NewSimpleWindow(3)
+	s := MustSimpleWindow(3)
 	s.Observe(FullUtil)
 	s.Reset()
 	if s.Weighted() != 0 {
@@ -222,13 +225,16 @@ func TestSimpleWindowResetAndName(t *testing.T) {
 	}
 }
 
-func TestNewSimpleWindowPanics(t *testing.T) {
+func TestNewSimpleWindowRejectsEmpty(t *testing.T) {
+	if s, err := NewSimpleWindow(0); err == nil {
+		t.Fatalf("NewSimpleWindow(0) = %v, want error", s)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewSimpleWindow(0) did not panic")
+			t.Fatal("MustSimpleWindow(0) did not panic")
 		}
 	}()
-	NewSimpleWindow(0)
+	MustSimpleWindow(0)
 }
 
 // Property: every predictor's weighted output stays within [0, FullUtil]
@@ -236,8 +242,8 @@ func TestNewSimpleWindowPanics(t *testing.T) {
 func TestPredictorsBoundedProperty(t *testing.T) {
 	f := func(inputs []int16, nRaw uint8) bool {
 		preds := []Predictor{
-			NewAvgN(int(nRaw % 12)),
-			NewSimpleWindow(int(nRaw%12) + 1),
+			MustAvgN(int(nRaw % 12)),
+			MustSimpleWindow(int(nRaw%12) + 1),
 		}
 		for _, p := range preds {
 			for _, in := range inputs {
@@ -259,7 +265,7 @@ func TestAvgNConvergesProperty(t *testing.T) {
 	f := func(level uint16, nRaw uint8) bool {
 		u := int(level) % (FullUtil + 1)
 		n := int(nRaw % 10)
-		a := NewAvgN(n)
+		a := MustAvgN(n)
 		for i := 0; i < 2000; i++ {
 			a.Observe(u)
 		}

@@ -79,7 +79,7 @@ func TestProportionalFigure5Pathology(t *testing.T) {
 	// as fast as the window fills — and because the demand is measured in
 	// *cycles at the current slow clock*, recovery to the top step takes
 	// several quanta even with a 70% headroom target.
-	p, _ := NewProportional(NewSimpleWindow(4), 7000, false)
+	p, _ := NewProportional(MustSimpleWindow(4), 7000, false)
 	cur := cpu.MinStep
 	for i := 0; i < 4; i++ { // idle history
 		cur, _ = p.OnQuantum(0, 0, cur, cpu.VHigh)

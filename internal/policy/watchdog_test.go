@@ -1,0 +1,221 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/sim"
+)
+
+// seesaw is a pathological policy that alternates scale-up and scale-down
+// every quantum — the flip-flop pattern the oscillation detector exists for.
+type seesaw struct{ up bool }
+
+func (s *seesaw) OnQuantum(_ sim.Time, _ int, cur cpu.Step, v cpu.Voltage) (cpu.Step, cpu.Voltage) {
+	s.up = !s.up
+	if s.up {
+		return (cur + 1).Clamp(), v
+	}
+	return (cur - 1).Clamp(), v
+}
+
+// stuck always holds the current step, whatever the load.
+type stuck struct{ resets int }
+
+func (s *stuck) OnQuantum(_ sim.Time, _ int, cur cpu.Step, v cpu.Voltage) (cpu.Step, cpu.Voltage) {
+	return cur, v
+}
+func (s *stuck) Reset() { s.resets++ }
+
+func TestWatchdogValidation(t *testing.T) {
+	if _, err := NewWatchdog(nil, WatchdogConfig{}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	bad := []WatchdogConfig{
+		{Window: 1},
+		{Window: 4, MaxReversals: 4},
+		{PegQuanta: -1},
+		{PegUtil: FullUtil + 1},
+		{MissStreak: -1},
+		{SafeQuanta: 10, MaxSafeQuanta: 5},
+	}
+	for i, c := range bad {
+		if _, err := NewWatchdog(&stuck{}, c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	w := MustWatchdog(&stuck{}, WatchdogConfig{})
+	if w.Config() != DefaultWatchdogConfig() {
+		t.Errorf("zero config did not default: %+v", w.Config())
+	}
+}
+
+func TestWatchdogTripsOnOscillation(t *testing.T) {
+	w := MustWatchdog(&seesaw{}, WatchdogConfig{Window: 8, MaxReversals: 4, SafeQuanta: 10})
+	cur := cpu.Step(5)
+	tripped := -1
+	for q := 0; q < 20; q++ {
+		s, v := w.OnQuantum(0, 5000, cur, cpu.VHigh)
+		if w.InSafeMode() {
+			tripped = q
+			if s != cpu.MaxStep || v != cpu.VHigh {
+				t.Fatalf("safe mode returned %v/%v", s, v)
+			}
+			break
+		}
+		cur = s
+	}
+	// The seesaw reverses every quantum, so 4 reversals accumulate within
+	// 5 decisions of the first direction change.
+	if tripped < 0 || tripped > 8 {
+		t.Fatalf("oscillation tripped at quantum %d, want within 8", tripped)
+	}
+	if tr := w.Trips(); tr.Oscillation != 1 || tr.Total() != 1 {
+		t.Errorf("trips = %+v", tr)
+	}
+}
+
+func TestWatchdogTripsOnPegging(t *testing.T) {
+	w := MustWatchdog(&stuck{}, WatchdogConfig{PegQuanta: 5, SafeQuanta: 10})
+	for q := 0; q < 4; q++ {
+		if s, _ := w.OnQuantum(0, FullUtil, cpu.MinStep, cpu.VHigh); s != cpu.MinStep {
+			t.Fatalf("quantum %d altered the decision to %v", q, s)
+		}
+	}
+	if s, _ := w.OnQuantum(0, FullUtil, cpu.MinStep, cpu.VHigh); s != cpu.MaxStep {
+		t.Fatalf("5th saturated quantum at MinStep did not trip: step %v", s)
+	}
+	if tr := w.Trips(); tr.Pegging != 1 {
+		t.Errorf("trips = %+v", tr)
+	}
+	// An idle quantum clears the run: no trip at higher steps or low util.
+	w2 := MustWatchdog(&stuck{}, WatchdogConfig{PegQuanta: 5, SafeQuanta: 10})
+	for q := 0; q < 40; q++ {
+		util := FullUtil
+		if q%4 == 3 {
+			util = 1000
+		}
+		w2.OnQuantum(0, util, cpu.MinStep, cpu.VHigh)
+	}
+	if w2.Trips().Total() != 0 {
+		t.Errorf("interrupted peg runs tripped: %+v", w2.Trips())
+	}
+}
+
+func TestWatchdogTripsOnMissStreak(t *testing.T) {
+	w := MustWatchdog(&stuck{}, WatchdogConfig{MissStreak: 3, SafeQuanta: 10})
+	w.NoteDeadline(true)
+	w.NoteDeadline(true)
+	w.NoteDeadline(false) // on-time clears the streak
+	w.NoteDeadline(true)
+	w.NoteDeadline(true)
+	if w.InSafeMode() {
+		t.Fatal("tripped before streak complete")
+	}
+	w.NoteDeadline(true)
+	if !w.InSafeMode() {
+		t.Fatal("3-miss streak did not trip")
+	}
+	if tr := w.Trips(); tr.MissStreak != 1 {
+		t.Errorf("trips = %+v", tr)
+	}
+	// Misses reported while already degraded do not re-trip.
+	w.NoteDeadline(true)
+	w.NoteDeadline(true)
+	w.NoteDeadline(true)
+	if w.Trips().Total() != 1 {
+		t.Errorf("safe-mode misses re-tripped: %+v", w.Trips())
+	}
+}
+
+func TestWatchdogReadmitsAndEscalates(t *testing.T) {
+	inner := &stuck{}
+	w := MustWatchdog(inner, WatchdogConfig{PegQuanta: 3, SafeQuanta: 4, MaxSafeQuanta: 8})
+	peg := func() (quanta int) {
+		for q := 0; q < 100; q++ {
+			w.OnQuantum(0, FullUtil, cpu.MinStep, cpu.VHigh)
+			if w.InSafeMode() {
+				return q + 1
+			}
+		}
+		t.Fatal("never tripped")
+		return 0
+	}
+	safeSpan := func() (quanta int) {
+		for q := 0; q < 100; q++ {
+			if s, _ := w.OnQuantum(0, 0, cpu.MaxStep, cpu.VHigh); s != cpu.MaxStep {
+				t.Fatalf("safe mode returned %v", s)
+			}
+			if !w.InSafeMode() {
+				return q + 1
+			}
+		}
+		t.Fatal("never re-admitted")
+		return 0
+	}
+
+	peg()
+	first := safeSpan()
+	if first != 4 {
+		t.Errorf("first safe hold = %d quanta, want 4", first)
+	}
+	if inner.resets != 1 {
+		t.Errorf("inner resets after readmit = %d, want 1", inner.resets)
+	}
+	peg()
+	second := safeSpan()
+	if second != 8 {
+		t.Errorf("second safe hold = %d quanta, want 8 (doubled)", second)
+	}
+	peg()
+	third := safeSpan()
+	if third != 8 {
+		t.Errorf("third safe hold = %d quanta, want 8 (capped)", third)
+	}
+	if tr := w.Trips(); tr.Pegging != 3 {
+		t.Errorf("trips = %+v", tr)
+	}
+
+	w.Reset()
+	if w.InSafeMode() || w.Trips().Total() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	peg()
+	if got := safeSpan(); got != 4 {
+		t.Errorf("post-Reset safe hold = %d quanta, want 4 (de-escalated)", got)
+	}
+}
+
+func TestWatchdogTransparentWhenHealthy(t *testing.T) {
+	// A well-behaved governor under a steady 60% load should never trip,
+	// and every decision should pass through identically.
+	mk := func() *Governor {
+		return MustGovernor(MustAvgN(3), One{}, One{}, PeringBounds, false)
+	}
+	w := MustWatchdog(mk(), WatchdogConfig{})
+	bare := mk()
+	cur, bareCur := cpu.MaxStep, cpu.MaxStep
+	for q := 0; q < 2000; q++ {
+		util := 6000
+		s, _ := w.OnQuantum(0, util, cur, cpu.VHigh)
+		bs, _ := bare.OnQuantum(0, util, bareCur, cpu.VHigh)
+		if s != bs {
+			t.Fatalf("quantum %d: watchdog %v != bare %v", q, s, bs)
+		}
+		cur, bareCur = s, bs
+	}
+	if w.Trips().Total() != 0 {
+		t.Errorf("healthy run tripped: %+v", w.Trips())
+	}
+}
+
+func TestWatchdogName(t *testing.T) {
+	w := MustWatchdog(MustGovernor(NewPAST(), Peg{}, Peg{}, BestBounds, false), WatchdogConfig{})
+	if !strings.HasPrefix(w.Name(), "WATCHDOG(PAST") {
+		t.Errorf("Name = %q", w.Name())
+	}
+	if MustWatchdog(&seesaw{}, WatchdogConfig{}).Name() != "WATCHDOG" {
+		t.Error("anonymous inner should name plain WATCHDOG")
+	}
+}

@@ -208,36 +208,33 @@ func TestRecorderSameInstantRevision(t *testing.T) {
 	}
 }
 
-func TestRecorderPanics(t *testing.T) {
+func TestRecorderMisuseErrors(t *testing.T) {
 	t.Run("out of order", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Error("out-of-order SetState did not panic")
-			}
-		}()
 		r := NewRecorder(DefaultModel(), activeState())
-		r.SetState(100, State{Mode: ModeNap, V: cpu.VHigh})
-		r.SetState(50, activeState())
+		if err := r.SetState(100, State{Mode: ModeNap, V: cpu.VHigh}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetState(50, activeState()); !errors.Is(err, ErrOrder) {
+			t.Errorf("out-of-order SetState err = %v, want ErrOrder", err)
+		}
 	})
 	t.Run("after finish", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Error("SetState after Finish did not panic")
-			}
-		}()
 		r := NewRecorder(DefaultModel(), activeState())
-		r.Finish(100)
-		r.SetState(150, activeState())
+		if err := r.Finish(100); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetState(150, activeState()); !errors.Is(err, ErrClosed) {
+			t.Errorf("SetState after Finish err = %v, want ErrClosed", err)
+		}
 	})
 	t.Run("finish before last", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Error("early Finish did not panic")
-			}
-		}()
 		r := NewRecorder(DefaultModel(), activeState())
-		r.SetState(100, State{Mode: ModeNap, V: cpu.VHigh})
-		r.Finish(50)
+		if err := r.SetState(100, State{Mode: ModeNap, V: cpu.VHigh}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Finish(50); !errors.Is(err, ErrOrder) {
+			t.Errorf("early Finish err = %v, want ErrOrder", err)
+		}
 	})
 }
 

@@ -2,6 +2,7 @@ package power
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"clocksched/internal/sim"
@@ -35,29 +36,35 @@ func NewRecorder(m Model, initial State) *Recorder {
 // Model returns the power model in use.
 func (r *Recorder) Model() Model { return r.model }
 
+// ErrClosed is returned for state changes after Finish.
+var ErrClosed = errors.New("power: state change after Finish")
+
+// ErrOrder is returned for state changes that move backwards in time.
+var ErrOrder = errors.New("power: state change out of time order")
+
 // SetState records that the system entered st at time now. Calls must be in
-// nondecreasing time order; an out-of-order call panics, since the kernel
-// driving the recorder is single-threaded virtual time and regression is a
-// programming error.
-func (r *Recorder) SetState(now sim.Time, st State) {
-	r.setWatts(now, r.model.Power(st))
+// nondecreasing time order; an out-of-order call returns ErrOrder, since
+// the kernel driving the recorder is single-threaded virtual time and
+// regression means its event schedule is inconsistent.
+func (r *Recorder) SetState(now sim.Time, st State) error {
+	return r.setWatts(now, r.model.Power(st))
 }
 
 // SetWatts records a raw power level, for experiments that bypass the model
 // (e.g. injecting a measured trace).
-func (r *Recorder) SetWatts(now sim.Time, w float64) { r.setWatts(now, w) }
+func (r *Recorder) SetWatts(now sim.Time, w float64) error { return r.setWatts(now, w) }
 
-func (r *Recorder) setWatts(now sim.Time, w float64) {
+func (r *Recorder) setWatts(now sim.Time, w float64) error {
 	if r.closed {
-		panic("power: SetState after Finish")
+		return fmt.Errorf("%w: at %v", ErrClosed, now)
 	}
 	if now < r.last {
-		panic("power: state change out of time order")
+		return fmt.Errorf("%w: %v after %v", ErrOrder, now, r.last)
 	}
 	r.last = now
 	last := &r.points[len(r.points)-1]
 	if last.Watts == w {
-		return // no change; keep the timeline minimal
+		return nil // no change; keep the timeline minimal
 	}
 	if last.At == now {
 		// Same-instant revision (e.g. step change and mode change in one
@@ -67,19 +74,21 @@ func (r *Recorder) setWatts(now sim.Time, w float64) {
 		if n := len(r.points); n >= 2 && r.points[n-2].Watts == w {
 			r.points = r.points[:n-1]
 		}
-		return
+		return nil
 	}
 	r.points = append(r.points, TimePoint{At: now, Watts: w})
+	return nil
 }
 
 // Finish marks the timeline complete at time end. Further SetState calls
-// panic. Energy and PowerAt remain usable up to end.
-func (r *Recorder) Finish(end sim.Time) {
+// return ErrClosed. Energy and PowerAt remain usable up to end.
+func (r *Recorder) Finish(end sim.Time) error {
 	if end < r.last {
-		panic("power: Finish before last state change")
+		return fmt.Errorf("%w: finish at %v before last change at %v", ErrOrder, end, r.last)
 	}
 	r.last = end
 	r.closed = true
+	return nil
 }
 
 // End returns the latest time covered by the timeline.

@@ -66,10 +66,21 @@ type Engine struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	err    error
+
+	// MaxEvents, when non-zero, bounds how many events a run may fire.
+	// Exceeding it records an ErrEventCap failure and halts the run: a
+	// runaway schedule (an event loop re-arming itself at the same
+	// instant, say) terminates with a diagnostic instead of hanging the
+	// host process.
+	MaxEvents uint64
 }
 
 // ErrPast is returned when an event is scheduled before the current time.
 var ErrPast = errors.New("sim: event scheduled in the past")
+
+// ErrEventCap is the failure recorded when a run exceeds Engine.MaxEvents.
+var ErrEventCap = errors.New("sim: event-count cap exceeded")
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -121,10 +132,33 @@ func (e *Engine) Cancel(h Handle) bool {
 // Halt stops the run loop after the currently-firing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// Fail records err as the run's failure and halts the run loop. Only the
+// first failure is kept; later calls halt again but do not overwrite it.
+// Event callbacks cannot return errors, so this is how an event reports an
+// internal inconsistency to whoever called Run or RunUntil.
+func (e *Engine) Fail(err error) {
+	if err == nil {
+		return
+	}
+	if e.err == nil {
+		e.err = err
+	}
+	e.halted = true
+}
+
+// Err returns the failure recorded by Fail (or the event-cap guard), if any.
+func (e *Engine) Err() error { return e.err }
+
 // Step fires the single earliest pending event, advancing the clock to its
-// timestamp. It reports false when the queue is empty.
+// timestamp. It reports false when the queue is empty or a failure has been
+// recorded.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.err != nil || len(e.queue) == 0 {
+		return false
+	}
+	if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
+		e.Fail(fmt.Errorf("%w: %d events fired by %v with %d still pending",
+			ErrEventCap, e.fired, e.now, len(e.queue)))
 		return false
 	}
 	s := heap.Pop(&e.queue).(*scheduled)
@@ -136,43 +170,49 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run fires events until the queue drains or Halt is called.
-func (e *Engine) Run() {
+// Run fires events until the queue drains, Halt is called, or a failure is
+// recorded; it returns the recorded failure, if any.
+func (e *Engine) Run() error {
 	e.halted = false
 	for !e.halted && e.Step() {
 	}
+	return e.err
 }
 
 // RunUntil fires events with timestamps ≤ end, then sets the clock to end.
-// Events scheduled beyond end remain queued.
-func (e *Engine) RunUntil(end Time) {
+// Events scheduled beyond end remain queued. It returns the failure
+// recorded during the run, if any; after a failure the clock stays at the
+// failing instant.
+func (e *Engine) RunUntil(end Time) error {
 	e.halted = false
-	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= end {
+	for !e.halted && e.err == nil && len(e.queue) > 0 && e.queue[0].at <= end {
 		e.Step()
 	}
-	if !e.halted && e.now < end {
+	if !e.halted && e.err == nil && e.now < end {
 		e.now = end
 	}
+	return e.err
 }
 
 // Every schedules fn to fire now+period, now+2·period, … until either fn
-// returns false or the engine halts. It panics if period is not positive.
-func (e *Engine) Every(period Duration, fn func(now Time) bool) {
+// returns false or the engine halts. It returns an error if period is not
+// positive.
+func (e *Engine) Every(period Duration, fn func(now Time) bool) error {
 	if period <= 0 {
-		panic("sim: Every with non-positive period")
+		return fmt.Errorf("sim: Every with non-positive period %v", period)
 	}
 	var tick Event
 	tick = func(now Time) {
 		if !fn(now) {
 			return
 		}
-		// Re-arm. Scheduling from inside an event cannot fail: now+period
-		// is strictly in the future.
+		// Re-arm. Scheduling from inside an event cannot fail — now+period
+		// is strictly in the future — but surface any failure rather than
+		// assuming.
 		if _, err := e.At(now+period, tick); err != nil {
-			panic(err)
+			e.Fail(err)
 		}
 	}
-	if _, err := e.After(period, tick); err != nil {
-		panic(err)
-	}
+	_, err := e.After(period, tick)
+	return err
 }

@@ -211,14 +211,80 @@ func TestEngineEvery(t *testing.T) {
 	}
 }
 
-func TestEngineEveryPanicsOnBadPeriod(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Every(0) did not panic")
-		}
-	}()
+func TestEngineEveryRejectsBadPeriod(t *testing.T) {
 	var e Engine
-	e.Every(0, func(Time) bool { return false })
+	if err := e.Every(0, func(Time) bool { return false }); err == nil {
+		t.Fatal("Every(0) succeeded, want error")
+	}
+	if err := e.Every(-5, func(Time) bool { return false }); err == nil {
+		t.Fatal("Every(-5) succeeded, want error")
+	}
+}
+
+func TestEngineFailHaltsAndKeepsFirstError(t *testing.T) {
+	var e Engine
+	first := errors.New("first failure")
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		if _, err := e.At(i, func(Time) {
+			count++
+			if count == 3 {
+				e.Fail(first)
+				e.Fail(errors.New("second failure"))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); !errors.Is(err, first) {
+		t.Fatalf("Run() = %v, want the first failure", err)
+	}
+	if count != 3 {
+		t.Errorf("Fail let %d events fire, want 3", count)
+	}
+	if !errors.Is(e.Err(), first) {
+		t.Errorf("Err() = %v, want the first failure", e.Err())
+	}
+	// A failed engine stays failed: stepping fires nothing further.
+	if e.Step() {
+		t.Error("Step() on failed engine fired an event")
+	}
+}
+
+func TestEngineEventCap(t *testing.T) {
+	var e Engine
+	e.MaxEvents = 50
+	// A self-re-arming zero-delay event: without the cap this never drains.
+	var loop Event
+	loop = func(now Time) {
+		if _, err := e.At(now, loop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.At(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); !errors.Is(err, ErrEventCap) {
+		t.Fatalf("Run() = %v, want ErrEventCap", err)
+	}
+	if e.Fired() != 50 {
+		t.Errorf("Fired = %d, want exactly the cap", e.Fired())
+	}
+}
+
+func TestEngineRunUntilReturnsFailure(t *testing.T) {
+	var e Engine
+	boom := errors.New("boom")
+	if _, err := e.At(10, func(Time) { e.Fail(boom) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(100); !errors.Is(err, boom) {
+		t.Fatalf("RunUntil = %v, want boom", err)
+	}
+	// The clock stays at the failing instant rather than jumping to end.
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v after failure, want 10", e.Now())
+	}
 }
 
 func TestEngineScheduleFromInsideEvent(t *testing.T) {

@@ -81,3 +81,15 @@ func (r *RNG) Bool(p float64) bool {
 // Split returns a new generator whose stream is independent of r's
 // continued output, for giving each simulated process its own source.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// NewRNGStream returns a generator for the numbered stream of a seed. The
+// stream id is diffused through the SplitMix64 finalizer before mixing, so
+// stream k is not merely a time-shifted view of stream 0: consumers that
+// must not perturb each other (the workload's jitter source and the
+// fault injector, say) derive disjoint-looking streams from one run seed.
+func NewRNGStream(seed, stream uint64) *RNG {
+	z := (stream + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRNG(seed ^ z ^ (z >> 31))
+}

@@ -179,3 +179,36 @@ func TestRNGInt63nProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// NewRNGStream must give repeatable, pairwise-distinct streams: the fault
+// injector's stream may never collide with the workload's stream for the
+// same run seed.
+func TestRNGStreamIsolation(t *testing.T) {
+	const n = 32
+	draw := func(r *RNG) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = r.Uint64()
+		}
+		return out
+	}
+	base := draw(NewRNG(7))
+	for stream := uint64(0); stream < 4; stream++ {
+		a := draw(NewRNGStream(7, stream))
+		b := draw(NewRNGStream(7, stream))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("stream %d not repeatable at draw %d", stream, i)
+			}
+		}
+		collisions := 0
+		for i := range a {
+			if a[i] == base[i] {
+				collisions++
+			}
+		}
+		if collisions != 0 {
+			t.Fatalf("stream %d collided %d/%d times with the base stream", stream, collisions, n)
+		}
+	}
+}

@@ -193,16 +193,29 @@ type Histogram struct {
 	Total  int
 }
 
-// NewHistogram creates a histogram with nbins bins over [lo, hi). It panics
-// if nbins < 1 or hi <= lo, both programming errors.
-func NewHistogram(lo, hi float64, nbins int) *Histogram {
+// NewHistogram creates a histogram with nbins bins over [lo, hi). It returns
+// an error if nbins < 1, the range is empty, or an endpoint is not finite.
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
 	if nbins < 1 {
-		panic("stats: histogram needs at least one bin")
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is not finite", lo, hi)
 	}
 	if hi <= lo {
-		panic("stats: histogram range is empty")
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
 	}
-	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}, nil
+}
+
+// MustHistogram is NewHistogram that panics on error, for composing literals
+// with known-good constant ranges.
+func MustHistogram(lo, hi float64, nbins int) *Histogram {
+	h, err := NewHistogram(lo, hi, nbins)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Add records one sample.

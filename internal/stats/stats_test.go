@@ -155,7 +155,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(0, 1, 10)
+	h := MustHistogram(0, 1, 10)
 	for _, x := range []float64{0.05, 0.15, 0.15, 0.95, 1.5, -0.5} {
 		h.Add(x)
 	}
@@ -179,21 +179,28 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewHistogram(0, 1, 0) },
-		func() { NewHistogram(1, 1, 5) },
-		func() { NewHistogram(2, 1, 5) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad histogram construction did not panic")
-				}
-			}()
-			fn()
-		}()
+func TestHistogramConstructionErrors(t *testing.T) {
+	bad := []struct {
+		lo, hi float64
+		nbins  int
+	}{
+		{0, 1, 0},
+		{1, 1, 5},
+		{2, 1, 5},
+		{math.NaN(), 1, 5},
+		{0, math.Inf(1), 5},
 	}
+	for _, c := range bad {
+		if h, err := NewHistogram(c.lo, c.hi, c.nbins); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %d) = %v, want error", c.lo, c.hi, c.nbins, h)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHistogram on a bad range did not panic")
+		}
+	}()
+	MustHistogram(1, 0, 5)
 }
 
 // Property: the CI always brackets the mean, and widens with more spread.

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead asserts the parser's contract on arbitrary bytes: Read either
+// returns an error or a trace that validates, serializes, and survives a
+// write/read round trip unchanged — and it never panics on any input.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("# itsy input trace\nname demo\n0 tap 1\n1000 scroll -3\n"))
+	f.Add([]byte("name x\n"))
+	f.Add([]byte("name keys\n0 key 104\n0 key 105\n500000 key 33\n"))
+	f.Add([]byte("name bad\n100 tap 1\n50 tap 2\n"))
+	f.Add([]byte("name over\n99999999999999999999 tap 1\n"))
+	f.Add([]byte("9223372036854775807 tap 1\nname t\n"))
+	f.Add([]byte("\xff\xfe garbage # not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted a trace Validate rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("valid trace failed to serialize: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to re-read: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\nbefore %+v\nafter  %+v", tr, tr2)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"clocksched/internal/sim"
 )
@@ -32,20 +33,34 @@ type Trace struct {
 	Events []Event
 }
 
+// MaxEventTime bounds trace timestamps to one simulated year. Real sessions
+// run minutes; anything past this is a corrupt or hostile trace, and
+// rejecting it here keeps downstream virtual-time arithmetic (which adds
+// burst durations and jitter to event times) far from int64 overflow.
+const MaxEventTime = 365 * 24 * 3600 * sim.Second
+
 // Validate checks that events are in nondecreasing time order with
-// non-negative timestamps and non-empty kinds.
+// non-negative, bounded timestamps and non-empty whitespace-free kinds.
+// A trace that validates is guaranteed to survive a WriteTo/Read round trip
+// unchanged.
 func (t *Trace) Validate() error {
 	if t.Name == "" {
 		return errors.New("trace: empty name")
+	}
+	if strings.IndexFunc(t.Name, unicode.IsSpace) >= 0 {
+		return fmt.Errorf("trace: name %q contains whitespace", t.Name)
 	}
 	for i, e := range t.Events {
 		if e.At < 0 {
 			return fmt.Errorf("trace: event %d at negative time %v", i, e.At)
 		}
+		if e.At > MaxEventTime {
+			return fmt.Errorf("trace: event %d at %v beyond the %v limit", i, e.At, MaxEventTime)
+		}
 		if e.Kind == "" {
 			return fmt.Errorf("trace: event %d has empty kind", i)
 		}
-		if strings.ContainsAny(e.Kind, " \t\n") {
+		if strings.IndexFunc(e.Kind, unicode.IsSpace) >= 0 {
 			return fmt.Errorf("trace: event %d kind %q contains whitespace", i, e.Kind)
 		}
 		if i > 0 && e.At < t.Events[i-1].At {
