@@ -1,10 +1,11 @@
 # Build and verification tiers. `make check` is the full local gate:
 # static vetting, the complete test suite under the race detector, a short
-# fuzz smoke of the trace parser, and the kernel stress tests under -race.
+# fuzz smoke of the trace parser, the kernel stress tests under -race, and
+# the parallel-sweep determinism proof under -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress
+.PHONY: build test check vet race fuzz-smoke stress sweep-race bench-sweep
 
 build:
 	$(GO) build ./...
@@ -24,5 +25,15 @@ fuzz-smoke:
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
 
-check: vet race fuzz-smoke stress
+# The parallel sweep engine's byte-identity guarantee, exercised with the
+# race detector watching the worker pool and cache.
+sweep-race:
+	$(GO) test -race -run 'Sweep|Cache' -v . ./internal/sweep/
+
+# Serial vs parallel wall time of the full Table 2 grid, recorded to
+# BENCH_sweep.json (also verifies the merges are identical).
+bench-sweep:
+	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
+
+check: vet race fuzz-smoke stress sweep-race
 	@echo "check: all tiers passed"

@@ -10,6 +10,8 @@ package clocksched
 // ns/op reports how long one complete reproduction takes.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -300,4 +302,44 @@ func BenchmarkBurstDuration(b *testing.B) {
 		total += burst.Duration(cpu.Step(i % cpu.NumSteps))
 	}
 	_ = total
+}
+
+// BenchmarkSweepTable2 measures the full Table 2 grid (50 cells of
+// 60-second MPEG) through the public batch API, serially and across the
+// worker pool. The /serial vs /parallel ratio is the sweep engine's
+// speedup on this machine.
+func BenchmarkSweepTable2(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			res, err := Sweep(context.Background(), table2Sweep(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Cells) != 50 {
+				b.Fatalf("%d cells", len(res.Cells))
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkSweepCached measures a fully warm cache: every cell served by
+// decode instead of simulation.
+func BenchmarkSweepCached(b *testing.B) {
+	cache, err := NewSweepCache(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := table2Sweep(1)
+	cfg.Cache = cache
+	if _, err := Sweep(context.Background(), cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -23,7 +23,10 @@
 package clocksched
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"time"
 
 	"clocksched/internal/cpu"
@@ -153,6 +156,57 @@ func (p Policy) Name() string {
 		return fmt.Sprintf("PROPORTIONAL(%s, %d%%)%s", pred, p.TargetPercent, vs)
 	}
 	return fmt.Sprintf("%s, %s-%s, %d%%-%d%%%s", pred, p.Up, p.Down, p.LoPercent, p.HiPercent, vs)
+}
+
+// Validate checks the policy eagerly and reports every problem at once,
+// joined with errors.Join, so a caller assembling a sweep grid sees all of
+// a cell's mistakes in one round trip rather than one per run.
+func (p Policy) Validate() error {
+	var errs []error
+	kinds := 0
+	for _, set := range []bool{p.Constant, p.Deadline, p.Proportional} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds > 1 {
+		errs = append(errs, fmt.Errorf("clocksched: Constant, Deadline, and Proportional are mutually exclusive"))
+	}
+	switch {
+	case p.Constant:
+		if p.MHz <= 0 {
+			errs = append(errs, fmt.Errorf("clocksched: constant policy needs a positive MHz, got %g", p.MHz))
+		}
+		if p.LowVoltage && p.MHz > 0 {
+			if step := cpu.NearestStep(int64(p.MHz * 1000)); !cpu.VoltageOK(step, cpu.VLow) {
+				errs = append(errs, fmt.Errorf("clocksched: 1.23V is unsafe at %s", step))
+			}
+		}
+	case p.Deadline:
+		// Nothing further: the deadline scheduler has no tunables here.
+	case p.Proportional:
+		if p.AvgN < 0 {
+			errs = append(errs, fmt.Errorf("clocksched: negative AVG_N %d", p.AvgN))
+		}
+		if p.TargetPercent <= 0 || p.TargetPercent > 100 {
+			errs = append(errs, fmt.Errorf("clocksched: proportional target %d%% outside (0, 100]", p.TargetPercent))
+		}
+	default:
+		if p.AvgN < 0 {
+			errs = append(errs, fmt.Errorf("clocksched: negative AVG_N %d", p.AvgN))
+		}
+		if _, ok := policy.SetterByName(string(p.Up)); !ok {
+			errs = append(errs, fmt.Errorf("clocksched: unknown up setter %q", p.Up))
+		}
+		if _, ok := policy.SetterByName(string(p.Down)); !ok {
+			errs = append(errs, fmt.Errorf("clocksched: unknown down setter %q", p.Down))
+		}
+		if p.LoPercent < 0 || p.HiPercent > 100 || p.LoPercent >= p.HiPercent {
+			errs = append(errs, fmt.Errorf("clocksched: bounds %d%%-%d%% want 0 <= lo < hi <= 100",
+				p.LoPercent, p.HiPercent))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // build converts the spec into a kernel policy and boot settings.
@@ -317,12 +371,68 @@ type Config struct {
 	// DeadlineSlack is the perceptual slack when counting missed
 	// deadlines; zero selects 33 ms (half an MPEG frame).
 	DeadlineSlack time.Duration
+	// CaptureTrace retains the per-quantum utilization/frequency timeline
+	// for Result.TraceSeq. It is opt-in because the trace dominates the
+	// Result's footprint (one point per 10 ms of simulated time) and most
+	// callers — sweeps especially — only want the scalar metrics.
+	CaptureTrace bool
 	// Faults optionally injects deterministic hardware/driver failures.
 	Faults *FaultPlan
 	// Watchdog optionally wraps the policy in a supervisory governor that
 	// degrades to full speed at 1.5 V when the policy misbehaves. It
 	// requires a non-constant policy.
 	Watchdog *WatchdogConfig
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workload == "" {
+		cfg.Workload = MPEG
+	}
+	if cfg.Policy == (Policy{}) {
+		cfg.Policy = ConstantPolicy(206.4, false)
+	}
+	if cfg.DeadlineSlack == 0 {
+		cfg.DeadlineSlack = 33 * time.Millisecond
+	}
+	return cfg
+}
+
+// Validate checks the whole configuration eagerly — workload, duration,
+// policy, fault plan, watchdog — and reports every problem at once via
+// errors.Join. Run and Sweep call it before simulating, so a bad cell
+// fails in microseconds instead of after its neighbours' runs.
+func (cfg Config) Validate() error {
+	cfg = cfg.withDefaults()
+	var errs []error
+	known := false
+	for _, w := range Workloads() {
+		if cfg.Workload == w {
+			known = true
+			break
+		}
+	}
+	if !known {
+		errs = append(errs, fmt.Errorf("clocksched: unknown workload %q", cfg.Workload))
+	}
+	if cfg.Duration < 0 {
+		errs = append(errs, fmt.Errorf("clocksched: negative duration %v", cfg.Duration))
+	}
+	if cfg.DeadlineSlack < 0 {
+		errs = append(errs, fmt.Errorf("clocksched: negative deadline slack %v", cfg.DeadlineSlack))
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.internal().Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if cfg.Watchdog != nil && cfg.Policy.Constant {
+		errs = append(errs, fmt.Errorf("clocksched: watchdog requires a non-constant policy"))
+	}
+	return errors.Join(errs...)
 }
 
 // UtilPoint is one scheduling quantum of the run's utilization trace.
@@ -366,8 +476,9 @@ type Result struct {
 	// TimeAtMHz is the residency: how long the clock sat at each step.
 	TimeAtMHz map[float64]time.Duration
 
-	// Trace is the per-quantum utilization and frequency timeline.
-	Trace []UtilPoint
+	// trace is the per-quantum utilization and frequency timeline,
+	// retained only when Config.CaptureTrace was set; see TraceSeq.
+	trace []UtilPoint
 
 	// Faults reports what the injection plan actually did; nil when no
 	// plan was configured.
@@ -400,33 +511,49 @@ type WatchdogReport struct {
 	InSafeMode       bool // the run ended degraded
 }
 
+// TraceSeq iterates the per-quantum utilization/frequency timeline. The
+// trace is only present when the run was configured with CaptureTrace;
+// otherwise the sequence is empty. The points stream in time order without
+// copying the backing slice.
+func (r *Result) TraceSeq() iter.Seq[UtilPoint] {
+	return func(yield func(UtilPoint) bool) {
+		for _, p := range r.trace {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// TraceLen reports how many trace points TraceSeq will yield.
+func (r *Result) TraceLen() int { return len(r.trace) }
+
 // Run executes one measurement run.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Workload == "" {
-		cfg.Workload = MPEG
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one measurement run under a context. Cancellation is
+// observed at quantum boundaries — every 10 ms of simulated time — so the
+// run aborts promptly with an error satisfying errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Policy == (Policy{}) {
-		cfg.Policy = ConstantPolicy(206.4, false)
-	}
+	cfg = cfg.withDefaults()
 	spec, err := cfg.Policy.build()
 	if err != nil {
 		return nil, err
 	}
 	spec.Workload = string(cfg.Workload)
 	spec.Seed = cfg.Seed
-	if cfg.Duration < 0 {
-		return nil, fmt.Errorf("clocksched: negative duration %v", cfg.Duration)
-	}
 	spec.Duration = sim.Duration(cfg.Duration / time.Microsecond)
 	slack := cfg.DeadlineSlack
-	if slack == 0 {
-		slack = 33 * time.Millisecond
-	}
 	spec.Faults = cfg.Faults.internal()
 	spec.Watchdog = cfg.Watchdog.internal()
 	spec.WatchdogSlack = sim.Duration(slack / time.Microsecond)
 
-	out, err := expt.Run(spec)
+	out, err := expt.RunContext(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -455,12 +582,14 @@ func Run(cfg Config) (*Result, error) {
 			res.TimeAtMHz[cpu.Step(s).MHz()] = d.Std()
 		}
 	}
-	for _, u := range out.Kernel.UtilLog() {
-		res.Trace = append(res.Trace, UtilPoint{
-			At:          u.At.Std(),
-			Utilization: float64(u.PP10K) / 10000,
-			MHz:         u.StepAt.MHz(),
-		})
+	if cfg.CaptureTrace {
+		for _, u := range out.Kernel.UtilLog() {
+			res.trace = append(res.trace, UtilPoint{
+				At:          u.At.Std(),
+				Utilization: float64(u.PP10K) / 10000,
+				MHz:         u.StepAt.MHz(),
+			})
+		}
 	}
 	if cfg.Faults != nil {
 		c := out.Faults

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRunDefaults(t *testing.T) {
-	res, err := Run(Config{Duration: 5 * time.Second})
+	res, err := Run(Config{Duration: 5 * time.Second, CaptureTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,11 +22,30 @@ func TestRunDefaults(t *testing.T) {
 	if res.ClockChanges != 0 {
 		t.Errorf("constant policy changed the clock %d times", res.ClockChanges)
 	}
-	if len(res.Trace) != 500 {
-		t.Errorf("trace has %d quanta, want 500", len(res.Trace))
+	if res.TraceLen() != 500 {
+		t.Errorf("trace has %d quanta, want 500", res.TraceLen())
+	}
+	n := 0
+	for p := range res.TraceSeq() {
+		if p.MHz != 206.4 {
+			t.Fatalf("trace point at %v ran at %.1f MHz", p.At, p.MHz)
+		}
+		n++
+	}
+	if n != res.TraceLen() {
+		t.Errorf("TraceSeq yielded %d points, TraceLen says %d", n, res.TraceLen())
 	}
 	if res.TimeAtMHz[206.4] != 5*time.Second {
 		t.Errorf("residency = %v", res.TimeAtMHz)
+	}
+
+	// Without CaptureTrace the trace is absent — the batch-friendly default.
+	lean, err := Run(Config{Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.TraceLen() != 0 {
+		t.Errorf("trace captured without opt-in: %d points", lean.TraceLen())
 	}
 }
 

@@ -1,0 +1,124 @@
+// Command benchsweep times the full Table 2 measurement grid — five
+// policies × ten seeds of the 60-second MPEG workload — through the public
+// Sweep API, first serially and then across the worker pool, verifies the
+// two merges produced identical results, and records the wall times to a
+// JSON file for the repo's benchmark history.
+//
+// Usage:
+//
+//	benchsweep                     # BENCH_sweep.json, GOMAXPROCS workers
+//	benchsweep -workers 4 -out BENCH_sweep.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"clocksched"
+)
+
+// report is the schema of BENCH_sweep.json.
+type report struct {
+	Grid            string  `json:"grid"`
+	Cells           int     `json:"cells"`
+	Workers         int     `json:"workers"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+}
+
+func table2Config(workers int) clocksched.SweepConfig {
+	best := clocksched.PASTPegPeg()
+	bestVS := clocksched.PASTPegPeg()
+	bestVS.VoltageScale = true
+	seeds := make([]uint64, 10)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	return clocksched.SweepConfig{
+		Workloads: []clocksched.Workload{clocksched.MPEG},
+		Policies: []clocksched.Policy{
+			clocksched.ConstantPolicy(206.4, false),
+			clocksched.ConstantPolicy(132.7, false),
+			clocksched.ConstantPolicy(132.7, true),
+			best,
+			bestVS,
+		},
+		Seeds:    seeds,
+		Workers:  workers,
+		FailFast: true,
+	}
+}
+
+func run(workers int) (*clocksched.SweepResult, time.Duration, error) {
+	start := time.Now()
+	res, err := clocksched.Sweep(context.Background(), table2Config(workers))
+	return res, time.Since(start), err
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sweep.json", "report file")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count")
+	)
+	flag.Parse()
+
+	serial, serialTime, err := run(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep: serial:", err)
+		os.Exit(1)
+	}
+	parallel, parallelTime, err := run(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep: parallel:", err)
+		os.Exit(1)
+	}
+
+	identical := len(serial.Cells) == len(parallel.Cells)
+	for i := range serial.Cells {
+		if !identical {
+			break
+		}
+		identical = reflect.DeepEqual(serial.Cells[i].Result, parallel.Cells[i].Result)
+	}
+
+	r := report{
+		Grid:            "table2: 5 policies x 10 seeds, MPEG 60s",
+		Cells:           len(serial.Cells),
+		Workers:         *workers,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		SerialSeconds:   serialTime.Seconds(),
+		ParallelSeconds: parallelTime.Seconds(),
+		Identical:       identical,
+	}
+	if parallelTime > 0 {
+		r.Speedup = serialTime.Seconds() / parallelTime.Seconds()
+	}
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d cells: serial %.3fs, %d workers %.3fs (%.2fx), identical=%v -> %s\n",
+		r.Cells, r.SerialSeconds, r.Workers, r.ParallelSeconds, r.Speedup, identical, *out)
+	if !identical {
+		fmt.Fprintln(os.Stderr, "benchsweep: parallel merge diverged from serial")
+		os.Exit(1)
+	}
+}

@@ -2,19 +2,28 @@
 // evaluation — plus the extension experiments — from the simulation,
 // printing each summary to stdout and writing the raw artifacts under -out.
 //
+// Grid-backed experiments fan their cells across -workers goroutines and
+// reuse cached cells from <out>/cache between invocations; the results are
+// bit-identical whatever the worker count or cache state. Interrupting the
+// run (Ctrl-C) stops the simulations at the next quantum boundary.
+//
 // Usage:
 //
 //	experiments            # everything, results into ./results
 //	experiments -only table2
 //	experiments -list
-//	experiments -out /tmp/repro -seed 3
+//	experiments -out /tmp/repro -seed 3 -workers 4
+//	experiments -nocache   # recompute every cell
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"clocksched/internal/expt"
@@ -22,10 +31,12 @@ import (
 
 func main() {
 	var (
-		outDir = flag.String("out", "results", "directory for raw artifact files")
-		only   = flag.String("only", "", "run only the named experiment (see -list)")
-		list   = flag.Bool("list", false, "list the available experiments and exit")
-		seed   = flag.Uint64("seed", 1, "workload jitter seed")
+		outDir  = flag.String("out", "results", "directory for raw artifact files")
+		only    = flag.String("only", "", "run only the named experiment (see -list)")
+		list    = flag.Bool("list", false, "list the available experiments and exit")
+		seed    = flag.Uint64("seed", 1, "workload jitter seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers for grid experiments")
+		nocache = flag.Bool("nocache", false, "skip the on-disk cell cache under <out>/cache")
 	)
 	flag.Parse()
 
@@ -51,10 +62,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	env := expt.Env{Ctx: ctx, Seed: *seed, Workers: *workers}
+	if !*nocache {
+		cache, err := expt.NewCellCache(0, filepath.Join(*outDir, "cache"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cache:", err)
+			os.Exit(1)
+		}
+		env.Cache = cache
+	}
+
 	var written []string
 	for _, e := range experiments {
 		fmt.Printf("==> %s — %s\n", e.Name, e.Paper)
-		summary, artifacts, err := e.Run(*seed)
+		summary, artifacts, err := e.Run(env)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
 			os.Exit(1)

@@ -7,12 +7,15 @@
 //	itsysim -workload mpeg -policy past-peg-peg:93:98 -duration 60s
 //	itsysim -workload editor -policy constant:132.7
 //	itsysim -workload chess -policy avg9-one-one:50:70 -seed 3
+//	itsysim -workload mpeg -policy past-peg-peg:93:98 -runs 10 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,7 +30,9 @@ func main() {
 		policySpec   = flag.String("policy", "constant:206.4",
 			"policy: constant:<MHz>[:lowv] or <pred>-<up>-<down>:<lo>:<hi>[:vs] "+
 				"where pred is past or avgN, setters are one/double/peg")
-		seed     = flag.Uint64("seed", 1, "workload jitter seed")
+		seed     = flag.Uint64("seed", 1, "workload jitter seed (first seed with -runs)")
+		runs     = flag.Int("runs", 1, "repeated runs over consecutive seeds, swept in parallel")
+		workers  = flag.Int("workers", 0, "parallel workers for -runs > 1 (0 = GOMAXPROCS)")
 		duration = flag.Duration("duration", 0, "run length (0 = workload's natural length)")
 		trace    = flag.Bool("trace", false, "dump the per-quantum utilization/frequency trace")
 		faults   = flag.String("faults", "",
@@ -53,13 +58,23 @@ func main() {
 	if *watchdog {
 		wd = &clocksched.WatchdogConfig{}
 	}
-	res, err := clocksched.Run(clocksched.Config{
-		Workload: clocksched.Workload(*workloadName),
-		Policy:   pol,
-		Seed:     *seed,
-		Duration: *duration,
-		Faults:   plan,
-		Watchdog: wd,
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *runs > 1 {
+		runBatch(ctx, pol, *workloadName, *seed, *runs, *workers, *duration, plan, wd)
+		return
+	}
+
+	res, err := clocksched.RunContext(ctx, clocksched.Config{
+		Workload:     clocksched.Workload(*workloadName),
+		Policy:       pol,
+		Seed:         *seed,
+		Duration:     *duration,
+		CaptureTrace: *trace,
+		Faults:       plan,
+		Watchdog:     wd,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
@@ -104,10 +119,47 @@ func main() {
 
 	if *trace {
 		fmt.Println("trace (time, utilization, MHz):")
-		for _, p := range res.Trace {
+		for p := range res.TraceSeq() {
 			fmt.Printf("%v\t%.4f\t%.1f\n", p.At, p.Utilization, p.MHz)
 		}
 	}
+}
+
+// runBatch sweeps the same configuration over consecutive seeds and prints
+// one row per run plus the aggregate.
+func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
+	firstSeed uint64, runs, workers int, duration time.Duration,
+	plan *clocksched.FaultPlan, wd *clocksched.WatchdogConfig) {
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = firstSeed + uint64(i)
+	}
+	sweep, err := clocksched.Sweep(ctx, clocksched.SweepConfig{
+		Workloads: []clocksched.Workload{clocksched.Workload(workload)},
+		Policies:  []clocksched.Policy{pol},
+		Seeds:     seeds,
+		Duration:  duration,
+		Faults:    plan,
+		Watchdog:  wd,
+		Workers:   workers,
+		FailFast:  true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itsysim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %s, policy: %s, %d runs (seeds %d..%d)\n",
+		workload, pol.Name(), runs, firstSeed, seeds[len(seeds)-1])
+	fmt.Printf("%-6s %10s %10s %8s %8s %9s\n", "seed", "energy(J)", "power(W)", "util%", "misses", "changes")
+	for i, cell := range sweep.Cells {
+		r := cell.Result
+		fmt.Printf("%-6d %10.2f %10.3f %8.1f %8d %9d\n",
+			seeds[i], r.EnergyJoules, r.AvgPowerWatts, r.MeanUtilization*100,
+			r.Misses, r.ClockChanges)
+	}
+	st := sweep.Stats()
+	fmt.Printf("energy: min %.2f J, mean %.2f J, max %.2f J; total misses %d\n",
+		st.MinEnergyJoules, st.MeanEnergyJoules, st.MaxEnergyJoules, st.TotalMisses)
 }
 
 // parsePolicy understands "constant:<MHz>[:lowv]",

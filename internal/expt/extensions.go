@@ -37,6 +37,12 @@ type DeadlineRow struct {
 // paper's best heuristic, and the deadline scheduler (with and without
 // voltage scaling), using the same seed for all four.
 func DeadlineComparison(seed uint64) ([]DeadlineRow, error) {
+	return DeadlineComparisonEnv(DefaultEnv(seed))
+}
+
+// DeadlineComparisonEnv runs the four comparison cells across the
+// environment's worker pool.
+func DeadlineComparisonEnv(env Env) ([]DeadlineRow, error) {
 	type config struct {
 		name string
 		spec func() RunSpec
@@ -61,24 +67,34 @@ func DeadlineComparison(seed uint64) ([]DeadlineRow, error) {
 			return RunSpec{Policy: d, InitialStep: cpu.MaxStep}
 		}},
 	}
-	rows := make([]DeadlineRow, 0, len(configs))
-	for _, c := range configs {
-		spec := c.spec()
-		spec.Workload = "mpeg"
-		spec.Seed = seed
-		spec.Duration = 30 * sim.Second
-		out, err := Run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("deadline comparison %q: %w", c.name, err)
+	grid := make([]GridCell, len(configs))
+	for i, c := range configs {
+		build := c.spec
+		grid[i] = GridCell{
+			Key: fmt.Sprintf("deadline|%s|seed=%d|dur=%d", c.name, env.Seed, 30*sim.Second),
+			Spec: func() RunSpec {
+				spec := build()
+				spec.Workload = "mpeg"
+				spec.Seed = env.Seed
+				spec.Duration = 30 * sim.Second
+				return spec
+			},
 		}
+	}
+	cells, err := RunGrid(env, grid, false)
+	if err != nil {
+		return nil, fmt.Errorf("deadline comparison: %w", err)
+	}
+	rows := make([]DeadlineRow, 0, len(configs))
+	for i, c := range cells {
 		row := DeadlineRow{
-			Policy:       c.name,
-			EnergyJ:      out.EnergyJ,
-			Misses:       out.Workload.Metrics().MissCount(table2Slack),
-			SpeedChanges: out.Kernel.SpeedChanges(),
+			Policy:       configs[i].name,
+			EnergyJ:      c.EnergyJ,
+			Misses:       c.Misses,
+			SpeedChanges: c.SpeedChanges,
 		}
 		var modal sim.Duration
-		for s, d := range out.Kernel.Residency() {
+		for s, d := range c.Residency {
 			if d > modal {
 				modal = d
 				row.ModalMHz = cpu.Step(s).MHz()

@@ -20,8 +20,9 @@ type Experiment struct {
 	Name string
 	// Paper says what the experiment reproduces.
 	Paper string
-	// Run executes the experiment with the given workload seed.
-	Run func(seed uint64) (summary string, artifacts []Artifact, err error)
+	// Run executes the experiment under the given environment (seed,
+	// context, worker count, cell cache).
+	Run func(env Env) (summary string, artifacts []Artifact, err error)
 }
 
 // Registry lists every experiment, in the paper's presentation order
@@ -82,14 +83,15 @@ func svgArtifact(name string, s Series) []Artifact {
 	return []Artifact{{Name: name, Content: svg}}
 }
 
-func runFigure3(seed uint64) (string, []Artifact, error) {
+func runFigure3(env Env) (string, []Artifact, error) {
+	panels, err := Figure3Panels(env)
+	if err != nil {
+		return "", nil, err
+	}
 	summary := ""
 	var arts []Artifact
-	for _, w := range FigureWorkloads {
-		s, err := Figure3(w, seed)
-		if err != nil {
-			return "", nil, err
-		}
+	for i, s := range panels {
+		w := FigureWorkloads[i]
 		summary += fmt.Sprintf("%-14s %s\n", w, s.Sparkline(72))
 		arts = append(arts, Artifact{Name: "figure3_" + w + ".dat", Content: s.Render()})
 		arts = append(arts, svgArtifact("figure3_"+w+".svg", s)...)
@@ -97,14 +99,15 @@ func runFigure3(seed uint64) (string, []Artifact, error) {
 	return summary, arts, nil
 }
 
-func runFigure4(seed uint64) (string, []Artifact, error) {
+func runFigure4(env Env) (string, []Artifact, error) {
+	panels, err := Figure4Panels(env)
+	if err != nil {
+		return "", nil, err
+	}
 	summary := ""
 	var arts []Artifact
-	for _, w := range FigureWorkloads {
-		s, err := Figure4(w, seed)
-		if err != nil {
-			return "", nil, err
-		}
+	for i, s := range panels {
+		w := FigureWorkloads[i]
 		summary += fmt.Sprintf("%-14s %s\n", w, s.Sparkline(72))
 		arts = append(arts, Artifact{Name: "figure4_" + w + ".dat", Content: s.Render()})
 		arts = append(arts, svgArtifact("figure4_"+w+".svg", s)...)
@@ -112,17 +115,17 @@ func runFigure4(seed uint64) (string, []Artifact, error) {
 	return summary, arts, nil
 }
 
-func runFigure5(uint64) (string, []Artifact, error) {
+func runFigure5(Env) (string, []Artifact, error) {
 	text := Figure5().Render()
 	return text, []Artifact{{Name: "figure5.txt", Content: text}}, nil
 }
 
-func runTable1(uint64) (string, []Artifact, error) {
+func runTable1(Env) (string, []Artifact, error) {
 	text := RenderTable1(Table1())
 	return text, []Artifact{{Name: "table1.txt", Content: text}}, nil
 }
 
-func runFigure6(uint64) (string, []Artifact, error) {
+func runFigure6(Env) (string, []Artifact, error) {
 	s, err := Figure6(9)
 	if err != nil {
 		return "", nil, err
@@ -132,7 +135,7 @@ func runFigure6(uint64) (string, []Artifact, error) {
 	return fmt.Sprintf("%s\n%s\n", s.Name, s.Sparkline(62)), arts, nil
 }
 
-func runFigure7(uint64) (string, []Artifact, error) {
+func runFigure7(Env) (string, []Artifact, error) {
 	s, osc, err := Figure7()
 	if err != nil {
 		return "", nil, err
@@ -144,8 +147,8 @@ func runFigure7(uint64) (string, []Artifact, error) {
 	return summary, arts, nil
 }
 
-func runFigure8(seed uint64) (string, []Artifact, error) {
-	s, out, err := Figure8(seed)
+func runFigure8(env Env) (string, []Artifact, error) {
+	s, out, err := Figure8(env.Seed)
 	if err != nil {
 		return "", nil, err
 	}
@@ -165,8 +168,8 @@ var figure9PaperPoints = []plot.Point{
 	{X: 176.9, Y: 76}, {X: 191.7, Y: 73}, {X: 206.4, Y: 72},
 }
 
-func runFigure9(seed uint64) (string, []Artifact, error) {
-	s, err := Figure9(seed)
+func runFigure9(env Env) (string, []Artifact, error) {
+	s, err := Figure9Env(env)
 	if err != nil {
 		return "", nil, err
 	}
@@ -195,8 +198,8 @@ func runFigure9(seed uint64) (string, []Artifact, error) {
 	return summary, arts, nil
 }
 
-func runTable2(uint64) (string, []Artifact, error) {
-	rows, err := Table2()
+func runTable2(env Env) (string, []Artifact, error) {
+	rows, err := Table2Env(env)
 	if err != nil {
 		return "", nil, err
 	}
@@ -204,12 +207,12 @@ func runTable2(uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "table2.txt", Content: text}}, nil
 }
 
-func runTable3(uint64) (string, []Artifact, error) {
+func runTable3(Env) (string, []Artifact, error) {
 	text := RenderTable3(Table3())
 	return text, []Artifact{{Name: "table3.txt", Content: text}}, nil
 }
 
-func runBattery(uint64) (string, []Artifact, error) {
+func runBattery(Env) (string, []Artifact, error) {
 	res, err := BatteryLifetime()
 	if err != nil {
 		return "", nil, err
@@ -218,7 +221,7 @@ func runBattery(uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "battery.txt", Content: text}}, nil
 }
 
-func runTransitions(uint64) (string, []Artifact, error) {
+func runTransitions(Env) (string, []Artifact, error) {
 	res, err := TransitionCost()
 	if err != nil {
 		return "", nil, err
@@ -227,7 +230,7 @@ func runTransitions(uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "transitions.txt", Content: text}}, nil
 }
 
-func runOverhead(uint64) (string, []Artifact, error) {
+func runOverhead(Env) (string, []Artifact, error) {
 	res, err := SchedulerOverhead()
 	if err != nil {
 		return "", nil, err
@@ -236,8 +239,8 @@ func runOverhead(uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "overhead.txt", Content: text}}, nil
 }
 
-func runDeadline(seed uint64) (string, []Artifact, error) {
-	rows, err := DeadlineComparison(seed)
+func runDeadline(env Env) (string, []Artifact, error) {
+	rows, err := DeadlineComparisonEnv(env)
 	if err != nil {
 		return "", nil, err
 	}
@@ -245,7 +248,7 @@ func runDeadline(seed uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "deadline.txt", Content: text}}, nil
 }
 
-func runMartin(uint64) (string, []Artifact, error) {
+func runMartin(Env) (string, []Artifact, error) {
 	res, err := MartinOptimum(2.0)
 	if err != nil {
 		return "", nil, err
@@ -254,8 +257,8 @@ func runMartin(uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "martin.txt", Content: text}}, nil
 }
 
-func runPering(seed uint64) (string, []Artifact, error) {
-	rows, err := PeringTradeoff(seed)
+func runPering(env Env) (string, []Artifact, error) {
+	rows, err := PeringTradeoff(env.Seed)
 	if err != nil {
 		return "", nil, err
 	}
@@ -263,8 +266,8 @@ func runPering(seed uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "pering.txt", Content: text}}, nil
 }
 
-func runPlayback(seed uint64) (string, []Artifact, error) {
-	rows, err := PlaybackLifetime(seed)
+func runPlayback(env Env) (string, []Artifact, error) {
+	rows, err := PlaybackLifetime(env.Seed)
 	if err != nil {
 		return "", nil, err
 	}
@@ -272,8 +275,8 @@ func runPlayback(seed uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "playback.txt", Content: text}}, nil
 }
 
-func runSensitivity(seed uint64) (string, []Artifact, error) {
-	cells, err := ThresholdSensitivity(seed)
+func runSensitivity(env Env) (string, []Artifact, error) {
+	cells, err := ThresholdSensitivityEnv(env)
 	if err != nil {
 		return "", nil, err
 	}
@@ -281,8 +284,8 @@ func runSensitivity(seed uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "sensitivity.txt", Content: text}}, nil
 }
 
-func runExhaustion(seed uint64) (string, []Artifact, error) {
-	rows, err := PlayUntilExhaustion(seed)
+func runExhaustion(env Env) (string, []Artifact, error) {
+	rows, err := PlayUntilExhaustion(env.Seed)
 	if err != nil {
 		return "", nil, err
 	}
@@ -290,13 +293,13 @@ func runExhaustion(seed uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "exhaustion.txt", Content: text}}, nil
 }
 
-func runSA2(uint64) (string, []Artifact, error) {
+func runSA2(Env) (string, []Artifact, error) {
 	text := SA2Example().Render()
 	return text, []Artifact{{Name: "sa2.txt", Content: text}}, nil
 }
 
-func runDVS(seed uint64) (string, []Artifact, error) {
-	rows, err := IdealDVSComparison(seed)
+func runDVS(env Env) (string, []Artifact, error) {
+	rows, err := IdealDVSComparison(env.Seed)
 	if err != nil {
 		return "", nil, err
 	}
@@ -304,8 +307,8 @@ func runDVS(seed uint64) (string, []Artifact, error) {
 	return text, []Artifact{{Name: "dvs.txt", Content: text}}, nil
 }
 
-func runWeiser(seed uint64) (string, []Artifact, error) {
-	rows, err := WeiserOnWorkloads(seed)
+func runWeiser(env Env) (string, []Artifact, error) {
+	rows, err := WeiserOnWorkloads(env.Seed)
 	if err != nil {
 		return "", nil, err
 	}

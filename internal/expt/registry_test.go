@@ -50,7 +50,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			summary, artifacts, err := e.Run(1)
+			summary, artifacts, err := e.Run(DefaultEnv(1))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,7 +85,7 @@ func TestIndexHTML(t *testing.T) {
 }
 
 func TestFigure9CompareArtifact(t *testing.T) {
-	_, arts, err := runFigure9(1)
+	_, arts, err := runFigure9(DefaultEnv(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"clocksched/internal/cpu"
@@ -56,6 +57,10 @@ type RunSpec struct {
 	// runaway schedule (a policy or fault interaction that would spin
 	// forever at one instant) into a structured error instead of a hang.
 	EventCap uint64
+	// Cancel, when non-nil, is polled at every quantum boundary; a
+	// non-nil return aborts the run with that error. RunContext wires a
+	// context's Err here; it is excluded from spec hashing.
+	Cancel func() error
 }
 
 // RunOutcome bundles everything a measurement run produced.
@@ -116,6 +121,23 @@ func buildWorkload(spec RunSpec) (workload.Workload, error) {
 
 // Run executes one measurement run.
 func Run(spec RunSpec) (*RunOutcome, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext executes one measurement run under a context. Cancellation is
+// observed at quantum boundaries — the simulation's only blocking-free
+// preemption points — so an aborted run stops within one simulated quantum
+// of the cancel and returns an error satisfying errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Cancel == nil && ctx.Done() != nil {
+		spec.Cancel = ctx.Err
+	}
 	// The workload is built against the unwrapped policy: MPEG inspects
 	// spec.Policy for a DeadlineScheduler to cooperate with, and that
 	// check must see through to the real policy, so the watchdog wraps
@@ -160,6 +182,7 @@ func Run(spec RunSpec) (*RunOutcome, error) {
 	cfg.InitialV = spec.InitialV
 	cfg.Policy = pol
 	cfg.Faults = inj
+	cfg.CheckCancel = spec.Cancel
 	cfg.EventCap = spec.EventCap
 	if cfg.EventCap == 0 {
 		// A real run fires a handful of events per quantum plus a few per

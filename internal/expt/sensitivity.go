@@ -27,30 +27,47 @@ type SensitivityCell struct {
 // (lo, hi) pair that is simultaneously energy-best and miss-free for all
 // applications.
 func ThresholdSensitivity(seed uint64) ([]SensitivityCell, error) {
+	return ThresholdSensitivityEnv(DefaultEnv(seed))
+}
+
+// ThresholdSensitivityEnv runs the sensitivity grid across the
+// environment's worker pool.
+func ThresholdSensitivityEnv(env Env) ([]SensitivityCell, error) {
 	grids := []struct{ lo, hi int }{
 		{30, 50}, {50, 70}, {70, 85}, {85, 95}, {93, 98},
 	}
 	workloads := []string{"mpeg", "editor"}
 	const length = 20 * sim.Second
 
-	var cells []SensitivityCell
+	var grid []GridCell
 	for _, w := range workloads {
 		for _, g := range grids {
-			gov := policy.MustGovernor(policy.MustAvgN(9), policy.One{}, policy.One{},
-				policy.Bounds{Lo: g.lo * 100, Hi: g.hi * 100}, false)
-			out, err := Run(RunSpec{
-				Workload: w, Seed: seed, Duration: length,
-				Policy: gov, InitialStep: cpu.MaxStep,
-			})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, SensitivityCell{
-				LoPct: g.lo, HiPct: g.hi, Workload: w,
-				EnergyJ: out.EnergyJ,
-				Misses:  out.Workload.Metrics().MissCount(table2Slack),
+			w, g := w, g
+			grid = append(grid, GridCell{
+				Key: fmt.Sprintf("sensitivity|%s|%d-%d|seed=%d|dur=%d", w, g.lo, g.hi, env.Seed, length),
+				Spec: func() RunSpec {
+					gov := policy.MustGovernor(policy.MustAvgN(9), policy.One{}, policy.One{},
+						policy.Bounds{Lo: g.lo * 100, Hi: g.hi * 100}, false)
+					return RunSpec{
+						Workload: w, Seed: env.Seed, Duration: length,
+						Policy: gov, InitialStep: cpu.MaxStep,
+					}
+				},
 			})
 		}
+	}
+	out, err := RunGrid(env, grid, false)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]SensitivityCell, 0, len(out))
+	for i, c := range out {
+		g := grids[i%len(grids)]
+		cells = append(cells, SensitivityCell{
+			LoPct: g.lo, HiPct: g.hi, Workload: workloads[i/len(grids)],
+			EnergyJ: c.EnergyJ,
+			Misses:  c.Misses,
+		})
 	}
 	return cells, nil
 }

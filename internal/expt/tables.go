@@ -120,34 +120,71 @@ func table2Specs() ([]table2Config, error) {
 // Table2 reproduces the energy comparison of the best clock scaling
 // algorithms on MPEG: three constant-speed baselines, the best-found PAST
 // peg-peg policy, and the same policy with voltage scaling below 162.2 MHz.
+// It runs the grid serially; Table2Env fans it across workers.
 func Table2() ([]Table2Row, error) {
+	return Table2Env(DefaultEnv(0))
+}
+
+// Table2Grid returns the Table 2 measurement grid — every (configuration,
+// seed) cell in presentation order — so sweeps and benchmarks can run the
+// exact grid the table folds.
+func Table2Grid() ([]GridCell, error) {
 	configs, err := table2Specs()
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table2Row, 0, len(configs))
+	var cells []GridCell
 	for _, c := range configs {
+		for seed := uint64(1); seed <= Table2Runs; seed++ {
+			build := c.spec
+			cells = append(cells, GridCell{
+				Key: fmt.Sprintf("table2|%s|seed=%d", c.name, seed),
+				Spec: func() RunSpec {
+					spec := build()
+					spec.Seed = seed
+					return spec
+				},
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Table2Env reproduces Table 2 across the environment's worker pool. The
+// rows are bit-identical whatever the worker count: each cell is an
+// independent deterministic simulation and the merge is ordered by grid
+// index.
+func Table2Env(env Env) ([]Table2Row, error) {
+	configs, err := table2Specs()
+	if err != nil {
+		return nil, err
+	}
+	grid, err := Table2Grid()
+	if err != nil {
+		return nil, err
+	}
+	cells, err := RunGrid(env, grid, false)
+	if err != nil {
+		return nil, fmt.Errorf("table 2: %w", err)
+	}
+	rows := make([]Table2Row, 0, len(configs))
+	for ci, c := range configs {
 		energies := make([]float64, 0, Table2Runs)
 		misses := 0
 		changes := 0
-		for seed := uint64(1); seed <= Table2Runs; seed++ {
-			spec := c.spec()
-			spec.Seed = seed
-			out, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("table 2 %q: %w", c.name, err)
-			}
-			energies = append(energies, out.EnergyJ)
-			misses += out.Workload.Metrics().MissCount(table2Slack)
-			changes += out.Kernel.SpeedChanges()
+		for si := 0; si < Table2Runs; si++ {
+			cell := cells[ci*Table2Runs+si]
+			energies = append(energies, cell.EnergyJ)
+			misses += cell.Misses
+			changes += cell.SpeedChanges
 		}
-		ci, err := stats.CI95(energies)
+		ci95, err := stats.CI95(energies)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, Table2Row{
 			Algorithm:    c.name,
-			Energy:       ci,
+			Energy:       ci95,
 			Misses:       misses,
 			SpeedChanges: float64(changes) / Table2Runs,
 		})

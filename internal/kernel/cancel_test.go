@@ -1,0 +1,58 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/sim"
+)
+
+// TestCheckCancelAbortsAtQuantumBoundary cancels a run after the third
+// quantum tick and checks that the run stops exactly there — at a quantum
+// boundary, not mid-quantum — with the cause preserved through the error
+// chain.
+func TestCheckCancelAbortsAtQuantumBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	ticks := 0
+	cfg.CheckCancel = func() error {
+		ticks++
+		if ticks > 3 {
+			return context.Canceled
+		}
+		return nil
+	}
+	eng, k := newKernel(t, cfg)
+	if _, err := k.Spawn(busyLoop{burst: cpu.Burst{Core: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	err := k.Run(sim.Second)
+	if err == nil {
+		t.Fatal("cancelled run finished cleanly")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause lost: %v", err)
+	}
+	// Three ticks survive, the fourth aborts: the clock stops at the
+	// fourth quantum boundary (40 ms), never past it.
+	if now := eng.Now(); now != 4*cfg.Quantum {
+		t.Errorf("aborted at %v, want the 40ms quantum boundary", now)
+	}
+}
+
+// TestCheckCancelNilIsFree checks that runs without a cancel hook behave
+// exactly as before.
+func TestCheckCancelNilIsFree(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, k := newKernel(t, cfg)
+	if _, err := k.Spawn(busyLoop{burst: cpu.Burst{Core: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != sim.Second {
+		t.Errorf("run ended at %v", eng.Now())
+	}
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// exceeding it aborts with a diagnostic instead of hanging. Zero
 	// leaves the engine's own MaxEvents setting untouched.
 	EventCap uint64
+	// CheckCancel, when non-nil, is polled at every quantum boundary
+	// (before the policy module runs); a non-nil return aborts the run
+	// with that error. It is how context cancellation reaches the virtual
+	// clock: the simulation never blocks, so the quantum tick is the
+	// natural — and deterministic — preemption point.
+	CheckCancel func() error
 }
 
 // DefaultConfig returns the paper's measurement configuration: no policy
@@ -361,6 +367,12 @@ func (k *Kernel) setPowerState(now sim.Time) {
 // tick is the 100 Hz clock interrupt with the forced per-quantum scheduler
 // invocation: account utilization, run the policy module, then round-robin.
 func (k *Kernel) tick(now sim.Time) {
+	if k.cfg.CheckCancel != nil {
+		if err := k.cfg.CheckCancel(); err != nil {
+			k.fail(fmt.Errorf("cancelled at quantum boundary: %w", err))
+			return
+		}
+	}
 	k.account(now)
 
 	// Charge the forced-rescheduling overhead as busy time.

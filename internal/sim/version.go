@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Version identifies the behavioural revision of the simulation module: the
+// engine, kernel, workloads, power model, and policies together. It
+// participates in every sweep cache key, so bumping it invalidates all
+// previously cached run results. Bump it whenever a change can alter the
+// output of any run — a new power calibration, a workload tweak, a policy
+// fix — and leave it alone for pure refactors.
+const Version = "clocksched-sim/2"
+
+// Hasher accumulates named fields into a canonical, order-sensitive
+// encoding and digests them into a content-addressed cache key. Two specs
+// hash equal exactly when every field was written with the same name and
+// value in the same order, so a key is stable across processes and runs.
+type Hasher struct {
+	b strings.Builder
+}
+
+// NewHasher starts a key for the given domain (e.g. "clocksched.Config"),
+// bound to the current simulation Version.
+func NewHasher(domain string) *Hasher {
+	return NewHasherAt(domain, Version)
+}
+
+// NewHasherAt starts a key bound to an explicit version string. It exists
+// so cache-invalidation tests can prove that a version bump changes every
+// key; production callers use NewHasher.
+func NewHasherAt(domain, version string) *Hasher {
+	h := &Hasher{}
+	h.Field("domain", domain)
+	h.Field("version", version)
+	return h
+}
+
+// Field appends one named value. Values must be plain data (numbers,
+// strings, booleans, or values with a deterministic String method):
+// pointers and maps have no canonical %v rendering and must be flattened by
+// the caller before hashing.
+func (h *Hasher) Field(name string, v any) *Hasher {
+	fmt.Fprintf(&h.b, "%s=%v;", name, v)
+	return h
+}
+
+// Sum returns the hex SHA-256 digest of everything written so far.
+func (h *Hasher) Sum() string {
+	sum := sha256.Sum256([]byte(h.b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Codec serializes cached values. The cache stores encoded bytes — in
+// memory and on disk — and decodes on every hit, so a hit can never alias a
+// value another cell is still mutating, and a disk entry written by one
+// process is readable by the next.
+type Codec struct {
+	Encode func(v any) ([]byte, error)
+	Decode func(b []byte) (any, error)
+}
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	Hits     int // served from memory or disk
+	DiskHits int // subset of Hits that came off disk
+	Misses   int
+	Entries  int   // live in-memory entries
+	Bytes    int64 // encoded bytes held in memory
+}
+
+// Cache is a content-addressed result cache: a bounded in-memory LRU with
+// an optional on-disk layer. It is safe for concurrent use.
+type Cache struct {
+	codec      Codec
+	dir        string // "" disables the disk layer
+	maxEntries int
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	stats   CacheStats
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	b   []byte
+}
+
+// DefaultCacheEntries bounds the in-memory layer when the caller passes a
+// non-positive size.
+const DefaultCacheEntries = 1024
+
+// NewCache builds a cache holding at most maxEntries encoded results in
+// memory (non-positive selects DefaultCacheEntries). A non-empty dir adds a
+// persistent disk layer under it — one file per key, written atomically —
+// created on demand.
+func NewCache(maxEntries int, dir string, codec Codec) (*Cache, error) {
+	if codec.Encode == nil || codec.Decode == nil {
+		return nil, errors.New("sweep: cache needs both codec halves")
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("sweep: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		codec:      codec,
+		dir:        dir,
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		entries:    map[string]*list.Element{},
+	}, nil
+}
+
+// Get looks the key up in memory, then on disk. A disk hit is promoted into
+// memory. The decoded value, a hit flag, and any decode error are returned;
+// a missing entry is (nil, false, nil).
+func (c *Cache) Get(key string) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		b := el.Value.(*cacheEntry).b
+		c.stats.Hits++
+		c.mu.Unlock()
+		v, err := c.codec.Decode(b)
+		if err != nil {
+			return nil, false, err
+		}
+		return v, true, nil
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		b, err := os.ReadFile(c.path(key))
+		if err == nil {
+			v, derr := c.codec.Decode(b)
+			if derr == nil {
+				c.insert(key, b, true)
+				return v, true, nil
+			}
+			// A corrupt or stale-format file is a miss; the fresh run
+			// will overwrite it.
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false, nil
+}
+
+// Put encodes v and stores it under key, in memory and (when configured) on
+// disk.
+func (c *Cache) Put(key string, v any) error {
+	b, err := c.codec.Encode(v)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache entry: %w", err)
+	}
+	c.insert(key, b, false)
+	if c.dir == "" {
+		return nil
+	}
+	// Atomic write: a crashed or concurrent writer never leaves a torn
+	// file for Get to misread.
+	path := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// insert stores encoded bytes at the LRU front, evicting from the back past
+// capacity. diskHit marks the insert as a disk-layer promotion for stats.
+func (c *Cache) insert(key string, b []byte, diskHit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if diskHit {
+		c.stats.Hits++
+		c.stats.DiskHits++
+	}
+	if el, ok := c.entries[key]; ok {
+		c.stats.Bytes += int64(len(b)) - int64(len(el.Value.(*cacheEntry).b))
+		el.Value.(*cacheEntry).b = b
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, b: b})
+	c.stats.Bytes += int64(len(b))
+	for c.ll.Len() > c.maxEntries {
+		last := c.ll.Back()
+		e := last.Value.(*cacheEntry)
+		c.ll.Remove(last)
+		delete(c.entries, e.key)
+		c.stats.Bytes -= int64(len(e.b))
+	}
+}
+
+// path maps a key to its disk file. The key itself is hashed into the
+// filename, so arbitrary key strings are safe.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".cell")
+}

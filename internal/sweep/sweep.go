@@ -1,0 +1,178 @@
+// Package sweep executes grids of independent measurement runs across a
+// bounded worker pool with a deterministic merge: however the cells
+// interleave at runtime, the returned slice is ordered by grid index and
+// each cell's value is bit-identical to what a serial loop would have
+// produced, because every run is a self-contained deterministic simulation.
+//
+// The package is deliberately generic — a job is just a cache key and a
+// closure — so both the public clocksched batch API and the internal
+// experiment harness can fan their grids through the same engine. An
+// optional content-addressed cache (in-memory LRU plus an on-disk layer)
+// lets repeated regenerations of the paper's tables and figures skip cells
+// that have already been measured.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one cell of a sweep grid.
+type Job struct {
+	// Key is the cell's content-addressed cache key; empty disables
+	// caching for this cell. Keys must fully determine the cell's output
+	// (spec, seed, and module version), or the cache will serve stale
+	// results.
+	Key string
+	// Run executes the cell. The context is cancelled when the sweep is
+	// aborted; long cells should observe it.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Options tunes one sweep.
+type Options struct {
+	// Workers bounds the concurrency; values < 1 select GOMAXPROCS.
+	Workers int
+	// FailFast aborts the sweep at the first cell error, cancelling
+	// outstanding cells. The default runs every cell and collects all
+	// errors.
+	FailFast bool
+	// Cache, when non-nil, consults and fills the result cache for jobs
+	// with non-empty keys. Cache failures are never fatal: a broken entry
+	// just re-runs the cell.
+	Cache *Cache
+	// OnProgress, when non-nil, is called after each cell completes (hit,
+	// run, or failed) with the number done and the grid total. Calls are
+	// serialized; the callback must not re-enter the sweep.
+	OnProgress func(done, total int)
+}
+
+// Outcome is one cell's result, in grid order.
+type Outcome struct {
+	// Value is the cell's result; nil when Err is non-nil.
+	Value any
+	// Err is the cell's failure, ErrSkipped if the sweep aborted before
+	// the cell ran, or nil.
+	Err error
+	// Cached reports that Value was served from the cache.
+	Cached bool
+}
+
+// ErrSkipped marks cells that never ran because the sweep was cancelled or
+// aborted by FailFast.
+var ErrSkipped = errors.New("sweep: cell skipped")
+
+// Run executes every job across the worker pool and returns the outcomes
+// ordered by grid index regardless of completion order.
+//
+// The returned error is nil when every cell succeeded; the first failure
+// (wrapped with its grid index) under FailFast; otherwise the errors.Join
+// of every cell failure. Context cancellation is joined in as well, so
+// errors.Is(err, context.Canceled) works. The outcome slice is always
+// complete and indexable, even on error.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		ran      = make([]bool, len(jobs))
+	)
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o := runJob(runCtx, jobs[i], opts.Cache)
+				mu.Lock()
+				out[i] = o
+				ran[i] = true
+				done++
+				if o.Err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("cell %d: %w", i, o.Err)
+					if opts.FailFast {
+						cancel()
+					}
+				}
+				if opts.OnProgress != nil {
+					opts.OnProgress(done, len(jobs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var errs []error
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for i := range jobs {
+		if !ran[i] {
+			out[i] = Outcome{Err: ErrSkipped}
+			continue
+		}
+		if out[i].Err != nil && !opts.FailFast {
+			errs = append(errs, fmt.Errorf("cell %d: %w", i, out[i].Err))
+		}
+	}
+	if opts.FailFast && firstErr != nil {
+		errs = append(errs, firstErr)
+	}
+	return out, errors.Join(errs...)
+}
+
+// runJob executes one cell: cache lookup, run, cache fill. Cache errors are
+// swallowed — the cache accelerates, it never gates.
+func runJob(ctx context.Context, j Job, cache *Cache) Outcome {
+	if err := ctx.Err(); err != nil {
+		return Outcome{Err: err}
+	}
+	if cache != nil && j.Key != "" {
+		if v, ok, err := cache.Get(j.Key); err == nil && ok {
+			return Outcome{Value: v, Cached: true}
+		}
+	}
+	v, err := j.Run(ctx)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	if cache != nil && j.Key != "" {
+		_ = cache.Put(j.Key, v)
+	}
+	return Outcome{Value: v}
+}

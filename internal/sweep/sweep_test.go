@@ -1,0 +1,296 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jsonCodec round-trips int values for cache tests.
+func jsonCodec() Codec {
+	return Codec{
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (any, error) {
+			var v int
+			if err := json.Unmarshal(b, &v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+}
+
+func TestRunMergesInGridOrder(t *testing.T) {
+	const n = 64
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Run: func(context.Context) (any, error) {
+			// Stagger completions so late-index cells often finish first.
+			time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+			return i * 10, nil
+		}}
+	}
+	out, err := Run(context.Background(), jobs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Err != nil || o.Value.(int) != i*10 {
+			t.Fatalf("cell %d = %+v", i, o)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{Run: func(context.Context) (any, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil, nil
+		}}
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d with 3 workers", p)
+	}
+}
+
+func TestRunCollectsAllErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Run: func(context.Context) (any, error) { return 1, nil }},
+		{Run: func(context.Context) (any, error) { return nil, boom }},
+		{Run: func(context.Context) (any, error) { return nil, fmt.Errorf("other") }},
+		{Run: func(context.Context) (any, error) { return 4, nil }},
+	}
+	out, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("joined error %v should include boom", err)
+	}
+	if out[0].Value.(int) != 1 || out[3].Value.(int) != 4 {
+		t.Error("healthy cells missing")
+	}
+	if out[1].Err == nil || out[2].Err == nil {
+		t.Error("failed cells lost their errors")
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ranLater atomic.Bool
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		switch {
+		case i == 0:
+			jobs[i] = Job{Run: func(context.Context) (any, error) { return nil, boom }}
+		default:
+			jobs[i] = Job{Run: func(ctx context.Context) (any, error) {
+				time.Sleep(time.Millisecond)
+				if i > 20 {
+					ranLater.Store(true)
+				}
+				return i, nil
+			}}
+		}
+	}
+	out, err := Run(context.Background(), jobs, Options{Workers: 1, FailFast: true})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	skipped := 0
+	for _, o := range out {
+		if errors.Is(o.Err, ErrSkipped) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("fail-fast ran the whole grid")
+	}
+	if ranLater.Load() {
+		t.Error("cells far past the failure still ran")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job, 30)
+	for i := range jobs {
+		jobs[i] = Job{Run: func(context.Context) (any, error) {
+			if i == 2 {
+				cancel()
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(ctx, jobs, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var calls []int
+	jobs := make([]Job, 9)
+	for i := range jobs {
+		jobs[i] = Job{Run: func(context.Context) (any, error) { return i, nil }}
+	}
+	_, err := Run(context.Background(), jobs, Options{
+		Workers:    4,
+		OnProgress: func(done, total int) { calls = append(calls, done*100+total) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 9 {
+		t.Fatalf("%d progress calls", len(calls))
+	}
+	for i, c := range calls {
+		if c != (i+1)*100+9 {
+			t.Fatalf("call %d = %d; progress not serialized in completion order", i, c)
+		}
+	}
+}
+
+func TestRunEmptyGrid(t *testing.T) {
+	out, err := Run(context.Background(), nil, Options{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestCacheHitsAndLRU(t *testing.T) {
+	c, err := NewCache(2, "", jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// k0 is evicted (capacity 2), k1 and k2 live.
+	if _, ok, _ := c.Get("k0"); ok {
+		t.Error("k0 survived eviction")
+	}
+	v, ok, err := c.Get("k2")
+	if err != nil || !ok || v.(int) != 2 {
+		t.Fatalf("k2 = %v/%v/%v", v, ok, err)
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestCacheDiskLayer(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(8, dir, jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("answer", 42); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory — a later process — hits disk.
+	c2, err := NewCache(8, dir, jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c2.Get("answer")
+	if err != nil || !ok || v.(int) != 42 {
+		t.Fatalf("disk layer: %v/%v/%v", v, ok, err)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	// Second read is a memory hit.
+	if _, ok, _ := c2.Get("answer"); !ok {
+		t.Error("promotion to memory failed")
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.Hits != 2 {
+		t.Errorf("stats after promotion %+v", s)
+	}
+}
+
+func TestCacheCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir, jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", 7); err != nil {
+		t.Fatal(err)
+	}
+	// Find the entry file and corrupt it, then read through a cold cache.
+	files, err := filepath.Glob(filepath.Join(dir, "*.cell"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files %v err %v", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewCache(8, dir, jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cold.Get("k"); ok || err != nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRunUsesCache(t *testing.T) {
+	c, err := NewCache(8, "", jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int64
+	mk := func() []Job {
+		jobs := make([]Job, 4)
+		for i := range jobs {
+			jobs[i] = Job{
+				Key: fmt.Sprintf("cell-%d", i),
+				Run: func(context.Context) (any, error) {
+					runs.Add(1)
+					return i, nil
+				},
+			}
+		}
+		return jobs
+	}
+	if _, err := Run(context.Background(), mk(), Options{Workers: 2, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4 {
+		t.Fatalf("cold sweep ran %d cells", runs.Load())
+	}
+	out, err := Run(context.Background(), mk(), Options{Workers: 2, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4 {
+		t.Fatalf("warm sweep re-ran cells: %d total runs", runs.Load())
+	}
+	for i, o := range out {
+		if !o.Cached || o.Value.(int) != i {
+			t.Fatalf("cell %d = %+v", i, o)
+		}
+	}
+}

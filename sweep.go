@@ -1,0 +1,416 @@
+package clocksched
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"clocksched/internal/sim"
+	"clocksched/internal/sweep"
+)
+
+// SweepConfig describes a batch of measurement runs: either the full cross
+// product of the Workloads × Policies × Seeds axes, or an explicit list of
+// Cells. The batch fans across a bounded worker pool; because every run is
+// a self-contained deterministic simulation, the merged results are
+// bit-identical to running the same cells in a serial loop, whatever the
+// worker count or completion order.
+type SweepConfig struct {
+	// Workloads, Policies, and Seeds are the grid axes; the sweep runs
+	// their cross product in workload-major order (all policies and seeds
+	// of the first workload, then the second, …). An empty axis
+	// contributes its single zero value, which Run resolves to its
+	// documented default (MPEG, constant full speed, seed 0).
+	Workloads []Workload
+	Policies  []Policy
+	Seeds     []uint64
+
+	// Duration, DeadlineSlack, CaptureTrace, Faults, and Watchdog apply
+	// to every axis-built cell, with the same semantics as in Config.
+	Duration      time.Duration
+	DeadlineSlack time.Duration
+	CaptureTrace  bool
+	Faults        *FaultPlan
+	Watchdog      *WatchdogConfig
+
+	// Cells, when non-empty, is the explicit grid; the axes and the
+	// shared settings above are ignored, and each cell's own fields
+	// govern its run. Use this for irregular grids.
+	Cells []Config
+
+	// Workers bounds the concurrency; values < 1 select GOMAXPROCS.
+	Workers int
+	// FailFast aborts the sweep at the first cell error, cancelling
+	// outstanding cells. The default runs every cell and reports all
+	// failures, both per cell and joined in the returned error.
+	FailFast bool
+	// Cache, when non-nil, serves repeated cells from the
+	// content-addressed result cache instead of re-simulating them.
+	Cache *SweepCache
+	// Progress, when non-nil, is called after each cell completes (run,
+	// cache hit, or failure) with the number done and the grid total.
+	// Calls are serialized.
+	Progress func(done, total int)
+}
+
+// SweepCell is one completed cell of a sweep.
+type SweepCell struct {
+	// Config is the fully-resolved cell configuration.
+	Config Config
+	// Result is the cell's measurement; nil when Err is non-nil.
+	Result *Result
+	// Err is the cell's failure, or sweep.ErrSkipped semantics: cells the
+	// sweep aborted before running carry an error too.
+	Err error
+	// Cached reports that Result was served from the cache rather than
+	// simulated.
+	Cached bool
+}
+
+// SweepResult holds every cell of a completed sweep in grid order.
+type SweepResult struct {
+	// Cells is indexed by grid position: for axis-built sweeps,
+	// (wi*len(Policies)+pi)*len(Seeds)+si; for explicit grids, the Cells
+	// slice index.
+	Cells []SweepCell
+
+	nw, np, ns int // axis dimensions; all zero for explicit grids
+}
+
+// CellAt returns the cell at the given axis indices of an axis-built
+// sweep, or nil when out of range or when the sweep ran an explicit grid.
+func (r *SweepResult) CellAt(wi, pi, si int) *SweepCell {
+	if wi < 0 || wi >= r.nw || pi < 0 || pi >= r.np || si < 0 || si >= r.ns {
+		return nil
+	}
+	return &r.Cells[(wi*r.np+pi)*r.ns+si]
+}
+
+// SweepStats aggregates a sweep's outcome.
+type SweepStats struct {
+	Cells  int // grid size
+	Failed int // cells that errored or were skipped
+	Cached int // cells served from the cache
+
+	// Energy statistics over the successful cells.
+	MinEnergyJoules  float64
+	MeanEnergyJoules float64
+	MaxEnergyJoules  float64
+	// TotalMisses sums missed deadlines across successful cells.
+	TotalMisses int
+}
+
+// Stats aggregates the sweep.
+func (r *SweepResult) Stats() SweepStats {
+	s := SweepStats{Cells: len(r.Cells)}
+	sum := 0.0
+	n := 0
+	for _, c := range r.Cells {
+		if c.Err != nil || c.Result == nil {
+			s.Failed++
+			continue
+		}
+		if c.Cached {
+			s.Cached++
+		}
+		e := c.Result.EnergyJoules
+		if n == 0 || e < s.MinEnergyJoules {
+			s.MinEnergyJoules = e
+		}
+		if n == 0 || e > s.MaxEnergyJoules {
+			s.MaxEnergyJoules = e
+		}
+		sum += e
+		n++
+		s.TotalMisses += c.Result.Misses
+	}
+	if n > 0 {
+		s.MeanEnergyJoules = sum / float64(n)
+	}
+	return s
+}
+
+// grid expands the configuration into its cell list and axis dimensions.
+func (cfg SweepConfig) grid() ([]Config, int, int, int) {
+	if len(cfg.Cells) > 0 {
+		cells := make([]Config, len(cfg.Cells))
+		copy(cells, cfg.Cells)
+		return cells, 0, 0, 0
+	}
+	ws := cfg.Workloads
+	if len(ws) == 0 {
+		ws = []Workload{""}
+	}
+	ps := cfg.Policies
+	if len(ps) == 0 {
+		ps = []Policy{{}}
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	cells := make([]Config, 0, len(ws)*len(ps)*len(seeds))
+	for _, w := range ws {
+		for _, p := range ps {
+			for _, s := range seeds {
+				cells = append(cells, Config{
+					Workload:      w,
+					Policy:        p,
+					Seed:          s,
+					Duration:      cfg.Duration,
+					DeadlineSlack: cfg.DeadlineSlack,
+					CaptureTrace:  cfg.CaptureTrace,
+					Faults:        cfg.Faults,
+					Watchdog:      cfg.Watchdog,
+				})
+			}
+		}
+	}
+	return cells, len(ws), len(ps), len(seeds)
+}
+
+// Sweep executes the batch. Every cell is validated before anything runs,
+// so a malformed grid fails fast with every problem joined into one error.
+//
+// Under FailFast a cell failure aborts the sweep and Sweep returns (nil,
+// err). Otherwise every cell runs, per-cell failures land in
+// SweepResult.Cells[i].Err, and the returned error is their errors.Join —
+// a non-nil SweepResult alongside a non-nil error means a partial sweep.
+// Cancelling the context aborts outstanding cells at their next quantum
+// boundary; the returned error then satisfies errors.Is(err, ctx.Err()).
+func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	cells, nw, np, ns := cfg.grid()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("clocksched: empty sweep grid")
+	}
+	var verrs []error
+	for i, c := range cells {
+		if err := c.Validate(); err != nil {
+			verrs = append(verrs, fmt.Errorf("cell %d (%s, %s): %w",
+				i, c.withDefaults().Workload, c.withDefaults().Policy.Name(), err))
+		}
+	}
+	if err := errors.Join(verrs...); err != nil {
+		return nil, err
+	}
+
+	jobs := make([]sweep.Job, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = sweep.Job{
+			Key: cacheKey(c),
+			Run: func(ctx context.Context) (any, error) {
+				return RunContext(ctx, c)
+			},
+		}
+	}
+	var inner *sweep.Cache
+	if cfg.Cache != nil {
+		inner = cfg.Cache.inner
+	}
+	outs, err := sweep.Run(ctx, jobs, sweep.Options{
+		Workers:    cfg.Workers,
+		FailFast:   cfg.FailFast,
+		Cache:      inner,
+		OnProgress: cfg.Progress,
+	})
+	if cfg.FailFast && err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Cells: make([]SweepCell, len(cells)),
+		nw:    nw, np: np, ns: ns,
+	}
+	for i, o := range outs {
+		cell := SweepCell{Config: cells[i].withDefaults(), Err: o.Err, Cached: o.Cached}
+		if o.Err == nil {
+			r, ok := o.Value.(*Result)
+			if !ok {
+				cell.Err = fmt.Errorf("clocksched: sweep cell %d returned %T", i, o.Value)
+			} else {
+				cell.Result = r
+			}
+		}
+		res.Cells[i] = cell
+	}
+	return res, err
+}
+
+// SweepCache is a content-addressed cache of sweep cell results: a bounded
+// in-memory LRU with an optional persistent on-disk layer. Keys hash the
+// full cell configuration together with the simulation version, so any
+// change to the simulation (a sim.Version bump) or to the cell spec misses
+// cleanly rather than serving stale results. It is safe for concurrent use
+// and can be shared across sweeps.
+type SweepCache struct {
+	inner *sweep.Cache
+}
+
+// SweepCacheStats counts cache traffic.
+type SweepCacheStats struct {
+	Hits     int // served from memory or disk
+	DiskHits int // subset of Hits that came off disk
+	Misses   int
+	Entries  int   // live in-memory entries
+	Bytes    int64 // encoded bytes held in memory
+}
+
+// NewSweepCache builds a cache holding at most maxEntries results in
+// memory (non-positive selects a default of 1024). A non-empty dir adds a
+// persistent disk layer under it — one file per cell, written atomically —
+// so repeated sweeps across process restarts skip already-measured cells.
+func NewSweepCache(maxEntries int, dir string) (*SweepCache, error) {
+	inner, err := sweep.NewCache(maxEntries, dir, sweep.Codec{
+		Encode: func(v any) ([]byte, error) {
+			r, ok := v.(*Result)
+			if !ok {
+				return nil, fmt.Errorf("clocksched: caching %T, want *Result", v)
+			}
+			return encodeResult(r)
+		},
+		Decode: func(b []byte) (any, error) {
+			return decodeResult(b)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepCache{inner: inner}, nil
+}
+
+// Stats reports the cache's traffic counters.
+func (c *SweepCache) Stats() SweepCacheStats {
+	s := c.inner.Stats()
+	return SweepCacheStats{
+		Hits:     s.Hits,
+		DiskHits: s.DiskHits,
+		Misses:   s.Misses,
+		Entries:  s.Entries,
+		Bytes:    s.Bytes,
+	}
+}
+
+// cacheKey is the content address of one cell's Result under the current
+// simulation version.
+func cacheKey(cfg Config) string {
+	return cacheKeyAt(sim.Version, cfg)
+}
+
+// cacheKeyAt hashes the cell configuration under an explicit simulation
+// version; bumping sim.Version therefore invalidates every existing entry.
+func cacheKeyAt(version string, cfg Config) string {
+	cfg = cfg.withDefaults()
+	h := sim.NewHasherAt("clocksched.Result", version).
+		Field("workload", cfg.Workload).
+		Field("policy", fmt.Sprintf("%+v", cfg.Policy)).
+		Field("seed", cfg.Seed).
+		Field("duration", int64(cfg.Duration)).
+		Field("slack", int64(cfg.DeadlineSlack)).
+		Field("trace", cfg.CaptureTrace)
+	if cfg.Faults != nil {
+		h.Field("faults", fmt.Sprintf("%+v", *cfg.Faults))
+	}
+	if cfg.Watchdog != nil {
+		h.Field("watchdog", fmt.Sprintf("%+v", *cfg.Watchdog))
+	}
+	return h.Sum()
+}
+
+// residencyWire is one TimeAtMHz entry, flattened for canonical encoding.
+type residencyWire struct {
+	MHz float64
+	D   time.Duration
+}
+
+// resultWire is the canonical serialization of a Result. Gob randomizes
+// map iteration order, so TimeAtMHz is flattened into a slice sorted by
+// frequency: the encoded bytes of equal Results are equal, which both the
+// byte-identity determinism guarantee and the disk cache rely on.
+type resultWire struct {
+	EnergyJoules    float64
+	AvgPowerWatts   float64
+	PeakPowerWatts  float64
+	MeanUtilization float64
+
+	Deadlines   int
+	Misses      int
+	MaxLateness time.Duration
+
+	ClockChanges   int
+	VoltageChanges int
+	StallTime      time.Duration
+
+	ContextSwitches int
+	IdleShare       float64
+
+	Residency []residencyWire
+	Trace     []UtilPoint
+
+	Faults   *FaultReport
+	Watchdog *WatchdogReport
+}
+
+// encodeResult serializes a Result canonically: equal Results produce
+// equal bytes.
+func encodeResult(r *Result) ([]byte, error) {
+	w := resultWire{
+		EnergyJoules:    r.EnergyJoules,
+		AvgPowerWatts:   r.AvgPowerWatts,
+		PeakPowerWatts:  r.PeakPowerWatts,
+		MeanUtilization: r.MeanUtilization,
+		Deadlines:       r.Deadlines,
+		Misses:          r.Misses,
+		MaxLateness:     r.MaxLateness,
+		ClockChanges:    r.ClockChanges,
+		VoltageChanges:  r.VoltageChanges,
+		StallTime:       r.StallTime,
+		ContextSwitches: r.ContextSwitches,
+		IdleShare:       r.IdleShare,
+		Trace:           r.trace,
+		Faults:          r.Faults,
+		Watchdog:        r.Watchdog,
+	}
+	for mhz, d := range r.TimeAtMHz {
+		w.Residency = append(w.Residency, residencyWire{MHz: mhz, D: d})
+	}
+	sort.Slice(w.Residency, func(i, j int) bool { return w.Residency[i].MHz < w.Residency[j].MHz })
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(w); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// decodeResult reverses encodeResult.
+func decodeResult(b []byte) (*Result, error) {
+	var w resultWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		EnergyJoules:    w.EnergyJoules,
+		AvgPowerWatts:   w.AvgPowerWatts,
+		PeakPowerWatts:  w.PeakPowerWatts,
+		MeanUtilization: w.MeanUtilization,
+		Deadlines:       w.Deadlines,
+		Misses:          w.Misses,
+		MaxLateness:     w.MaxLateness,
+		ClockChanges:    w.ClockChanges,
+		VoltageChanges:  w.VoltageChanges,
+		StallTime:       w.StallTime,
+		ContextSwitches: w.ContextSwitches,
+		IdleShare:       w.IdleShare,
+		TimeAtMHz:       map[float64]time.Duration{},
+		trace:           w.Trace,
+		Faults:          w.Faults,
+		Watchdog:        w.Watchdog,
+	}
+	for _, e := range w.Residency {
+		r.TimeAtMHz[e.MHz] = e.D
+	}
+	return r, nil
+}
