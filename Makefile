@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race bench-sweep
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race bench-sweep
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,17 @@ stress:
 sweep-race:
 	$(GO) test -race -run 'Sweep|Cache' -v . ./internal/sweep/
 
+# The telemetry layer's concurrency contract: shared instruments hammered
+# from many goroutines, the exporter golden output, and the zero-alloc
+# disabled path — all under the race detector, with the public wrapper's
+# end-to-end HTTP tests riding along.
+telemetry-race:
+	$(GO) test -race -count=1 -run 'Telemetry|Concurrent|Prometheus|Progress' -v . ./internal/telemetry/ ./internal/sweep/
+
 # Serial vs parallel wall time of the full Table 2 grid, recorded to
 # BENCH_sweep.json (also verifies the merges are identical).
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race
+check: vet race fuzz-smoke stress sweep-race telemetry-race
 	@echo "check: all tiers passed"

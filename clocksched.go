@@ -382,6 +382,11 @@ type Config struct {
 	// degrades to full speed at 1.5 V when the policy misbehaves. It
 	// requires a non-constant policy.
 	Watchdog *WatchdogConfig
+	// Telemetry, when non-nil, streams live instrumentation from every
+	// layer of the run into the shared registry. Purely observational: the
+	// Result is bit-identical with or without it, and the field is excluded
+	// from sweep cache keys.
+	Telemetry *Telemetry
 }
 
 // withDefaults resolves the documented zero-value defaults.
@@ -486,6 +491,11 @@ type Result struct {
 	// Watchdog reports the supervisory governor's activity; nil when none
 	// was configured.
 	Watchdog *WatchdogReport
+
+	// Telemetry summarizes the run's activity counts. Unlike the live
+	// Config.Telemetry registry it is always populated, and only from
+	// virtual-time accounting, so it is deterministic per seed.
+	Telemetry RunTelemetry
 }
 
 // FaultReport tallies the faults a plan injected into one run.
@@ -552,6 +562,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	spec.Faults = cfg.Faults.internal()
 	spec.Watchdog = cfg.Watchdog.internal()
 	spec.WatchdogSlack = sim.Duration(slack / time.Microsecond)
+	spec.Telemetry = cfg.Telemetry.registry()
 
 	out, err := expt.RunContext(ctx, spec)
 	if err != nil {
@@ -571,6 +582,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		VoltageChanges:  out.Kernel.VoltageChanges(),
 		StallTime:       out.Kernel.StallTime().Std(),
 		TimeAtMHz:       map[float64]time.Duration{},
+	}
+	res.Telemetry = RunTelemetry{
+		EventsFired: out.Kernel.Engine().Fired(),
+		Quanta:      len(out.Kernel.UtilLog()),
+		DAQSamples:  len(out.Capture.Samples),
+	}
+	// The spec carries the unwrapped policy (the watchdog wraps a local
+	// copy), but see through a wrapper anyway in case that changes.
+	runPol := out.Spec.Policy
+	if wd, ok := runPol.(*policy.Watchdog); ok {
+		runPol = wd.Inner()
+	}
+	if g, ok := runPol.(*policy.Governor); ok {
+		res.Telemetry.ScaleUps, res.Telemetry.ScaleDowns = g.ScaleCounts()
 	}
 	logStats := out.Kernel.AnalyzeLog()
 	res.ContextSwitches = logStats.Switches

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"clocksched/internal/expt"
+	"clocksched/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload jitter seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers for grid experiments")
 		nocache = flag.Bool("nocache", false, "skip the on-disk cell cache under <out>/cache")
+		telAddr = flag.String("telemetry", "",
+			"serve live telemetry on this address (e.g. :8080): /metrics, /metrics.json, /debug/vars, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -66,6 +69,17 @@ func main() {
 	defer stop()
 
 	env := expt.Env{Ctx: ctx, Seed: *seed, Workers: *workers}
+	if *telAddr != "" {
+		reg := telemetry.New()
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s/metrics\n", srv.Addr())
+		env.Telemetry = reg
+	}
 	if !*nocache {
 		cache, err := expt.NewCellCache(0, filepath.Join(*outDir, "cache"))
 		if err != nil {

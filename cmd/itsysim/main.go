@@ -41,6 +41,8 @@ func main() {
 				"(probabilities in [0,1]), e.g. clockfail=0.01,jitter=0.05")
 		watchdog = flag.Bool("watchdog", false,
 			"wrap the policy in the supervisory watchdog governor")
+		telemetryAddr = flag.String("telemetry", "",
+			"serve live telemetry on this address (e.g. :8080): /metrics, /metrics.json, /debug/vars, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -62,8 +64,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var tel *clocksched.Telemetry
+	if *telemetryAddr != "" {
+		tel = clocksched.NewTelemetry()
+		addr, err := tel.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itsysim:", err)
+			os.Exit(2)
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "itsysim: telemetry on http://%s/metrics\n", addr)
+	}
+
 	if *runs > 1 {
-		runBatch(ctx, pol, *workloadName, *seed, *runs, *workers, *duration, plan, wd)
+		runBatch(ctx, pol, *workloadName, *seed, *runs, *workers, *duration, plan, wd, tel)
 		return
 	}
 
@@ -75,6 +89,7 @@ func main() {
 		CaptureTrace: *trace,
 		Faults:       plan,
 		Watchdog:     wd,
+		Telemetry:    tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
@@ -129,7 +144,8 @@ func main() {
 // one row per run plus the aggregate.
 func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
 	firstSeed uint64, runs, workers int, duration time.Duration,
-	plan *clocksched.FaultPlan, wd *clocksched.WatchdogConfig) {
+	plan *clocksched.FaultPlan, wd *clocksched.WatchdogConfig,
+	tel *clocksched.Telemetry) {
 	seeds := make([]uint64, runs)
 	for i := range seeds {
 		seeds[i] = firstSeed + uint64(i)
@@ -143,6 +159,7 @@ func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
 		Watchdog:  wd,
 		Workers:   workers,
 		FailFast:  true,
+		Telemetry: tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
@@ -160,6 +177,9 @@ func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
 	st := sweep.Stats()
 	fmt.Printf("energy: min %.2f J, mean %.2f J, max %.2f J; total misses %d\n",
 		st.MinEnergyJoules, st.MeanEnergyJoules, st.MaxEnergyJoules, st.TotalMisses)
+	pt := sweep.Telemetry
+	fmt.Printf("pool: %d workers (peak busy %d); cells run %d, cached %d, failed %d\n",
+		pt.Workers, pt.PeakBusy, pt.Ran, pt.Cached, pt.Failed)
 }
 
 // parsePolicy understands "constant:<MHz>[:lowv]",

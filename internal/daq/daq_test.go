@@ -129,7 +129,6 @@ func TestSampleErrors(t *testing.T) {
 		{"empty window", 100, 100, cfg},
 		{"inverted window", 200, 100, cfg},
 		{"beyond timeline", 0, 2 * sim.Second, cfg},
-		{"sub-interval window", 0, 100, cfg},
 	}
 	for _, c := range cases {
 		if _, err := Sample(rec, c.start, c.end, c.cfg); err == nil {
@@ -150,6 +149,52 @@ func TestSampleErrors(t *testing.T) {
 	bad.FullScaleWatts = 0
 	if _, err := Sample(rec, 0, sim.Second, bad); err == nil {
 		t.Error("zero full scale: no error")
+	}
+}
+
+// TestSamplePartialWindow is the regression test for the truncation bug:
+// Sample used to floor the window to whole 200 µs intervals, silently
+// dropping the trailing partial interval's energy. A window not divisible by
+// the sample interval must now be covered in full.
+func TestSamplePartialWindow(t *testing.T) {
+	rec := constantRecorder(2.0, 2*sim.Second)
+	window := sim.Second + 300*sim.Microsecond // 1.0003 s: 5001 whole intervals + 100 µs
+	cap, err := Sample(rec, 0, sim.Time(window), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.Samples) != 5002 {
+		t.Fatalf("captured %d samples over %v, want 5002 (ceil)", len(cap.Samples), window)
+	}
+	if got := cap.Duration(); got != window {
+		t.Errorf("duration = %v, want %v", got, window)
+	}
+	// Constant 2 W over 1.0003 s is 2.0006 J. The old floor-truncating code
+	// reported 2.0002 J (5001 samples × 200 µs), losing the partial interval.
+	if got := cap.Energy(); math.Abs(got-2.0006) > 1e-4 {
+		t.Errorf("energy = %v, want 2.0006 (partial interval covered)", got)
+	}
+
+	// A window shorter than one sample interval is likewise covered by a
+	// single partial-interval reading instead of erroring.
+	small, err := Sample(rec, 0, 100, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Samples) != 1 {
+		t.Fatalf("sub-interval window captured %d samples, want 1", len(small.Samples))
+	}
+	if got, want := small.Energy(), 2.0*(100*sim.Microsecond).Seconds(); math.Abs(got-want) > 1e-7 {
+		t.Errorf("sub-interval energy = %v, want %v", got, want)
+	}
+
+	// A divisible window is bit-identical to the pre-fix behaviour.
+	exact, err := Sample(rec, 0, sim.Second, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Samples) != 5000 || math.Abs(exact.Energy()-2.0) > 1e-3 {
+		t.Errorf("divisible window: %d samples, %v J", len(exact.Samples), exact.Energy())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"clocksched/internal/kernel"
 	"clocksched/internal/sim"
 	"clocksched/internal/sweep"
+	"clocksched/internal/telemetry"
 )
 
 // Env carries the cross-cutting execution settings for one experiment run:
@@ -21,6 +22,13 @@ type Env struct {
 	Seed    uint64
 	Workers int
 	Cache   *sweep.Cache
+	// Telemetry, when non-nil, instruments the sweep pool, the cache, and
+	// every cell's simulation stack. Purely observational: results are
+	// bit-identical with or without it.
+	Telemetry *telemetry.Registry
+	// Stats, when non-nil, is filled with the pool statistics of the last
+	// grid run.
+	Stats *sweep.PoolStats
 }
 
 // DefaultEnv is the serial environment the pre-batch API ran under: one
@@ -113,7 +121,9 @@ func RunGrid(env Env, cells []GridCell, keepUtil bool) ([]Cell, error) {
 		jobs[i] = sweep.Job{
 			Key: key,
 			Run: func(ctx context.Context) (any, error) {
-				out, err := RunContext(ctx, spec())
+				s := spec()
+				s.Telemetry = env.Telemetry
+				out, err := RunContext(ctx, s)
 				if err != nil {
 					return nil, err
 				}
@@ -122,9 +132,11 @@ func RunGrid(env Env, cells []GridCell, keepUtil bool) ([]Cell, error) {
 		}
 	}
 	outs, err := sweep.Run(env.ctx(), jobs, sweep.Options{
-		Workers:  env.Workers,
-		FailFast: true,
-		Cache:    env.Cache,
+		Workers:   env.Workers,
+		FailFast:  true,
+		Cache:     env.Cache,
+		Telemetry: env.Telemetry,
+		Stats:     env.Stats,
 	})
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"clocksched/internal/policy"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
+	"clocksched/internal/telemetry"
 	"clocksched/internal/workload"
 )
 
@@ -61,6 +62,11 @@ type RunSpec struct {
 	// non-nil return aborts the run with that error. RunContext wires a
 	// context's Err here; it is excluded from spec hashing.
 	Cancel func() error
+	// Telemetry, when non-nil, receives live instrumentation from the
+	// engine, kernel, policy, and DAQ. Like Cancel it is observational
+	// plumbing: it never influences the simulation and is excluded from
+	// spec hashing.
+	Telemetry *telemetry.Registry
 }
 
 // RunOutcome bundles everything a measurement run produced.
@@ -183,7 +189,16 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 	cfg.Policy = pol
 	cfg.Faults = inj
 	cfg.CheckCancel = spec.Cancel
+	cfg.Telemetry = spec.Telemetry
 	cfg.EventCap = spec.EventCap
+	if in, ok := pol.(interface {
+		Instrument(*telemetry.Registry)
+	}); ok && spec.Telemetry != nil {
+		in.Instrument(spec.Telemetry)
+	}
+	spec.Telemetry.Emit("run.start",
+		telemetry.F("workload", spec.Workload),
+		telemetry.F("seed", fmt.Sprint(spec.Seed)))
 	if cfg.EventCap == 0 {
 		// A real run fires a handful of events per quantum plus a few per
 		// workload burst; a thousand per simulated millisecond is two
@@ -207,6 +222,7 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 
 	dcfg := daq.DefaultConfig()
 	dcfg.Faults = inj
+	dcfg.Telemetry = spec.Telemetry
 	cap, err := daq.Sample(k.Recorder(), 0, length, dcfg)
 	if err != nil {
 		return nil, err
@@ -229,5 +245,9 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 		}
 		out.MeanUtil = float64(sum) / float64(len(log)) / 10000
 	}
+	spec.Telemetry.Emit("run.done",
+		telemetry.F("workload", spec.Workload),
+		telemetry.F("seed", fmt.Sprint(spec.Seed)),
+		telemetry.F("energy_j", fmt.Sprintf("%.4f", out.EnergyJ)))
 	return out, nil
 }

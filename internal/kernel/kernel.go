@@ -8,6 +8,7 @@ import (
 	"clocksched/internal/fault"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
+	"clocksched/internal/telemetry"
 )
 
 // SpeedPolicy is the installable clock scaling policy module. The kernel
@@ -58,6 +59,10 @@ type Config struct {
 	// clock: the simulation never blocks, so the quantum tick is the
 	// natural — and deterministic — preemption point.
 	CheckCancel func() error
+	// Telemetry, when non-nil, receives live quantum/idle/speed-change
+	// metrics and also instruments the engine. Nil disables instrumentation
+	// at the cost of one nil check per operation on the hot path.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's measurement configuration: no policy
@@ -131,6 +136,16 @@ type Kernel struct {
 	// err is the first internal failure; once set the engine is halted
 	// and Run returns it instead of a result.
 	err error
+
+	// Telemetry instruments, resolved once in New; all nil (no-op) when
+	// Config.Telemetry is nil.
+	telQuanta  *telemetry.Counter
+	telUtil    *telemetry.Histogram
+	telIdle    *telemetry.Counter
+	telSpeed   *telemetry.Counter
+	telFailed  *telemetry.Counter
+	telVolt    *telemetry.Counter
+	telStallUs *telemetry.Counter
 }
 
 // Structured failure classes a run can report. Callers match them with
@@ -190,6 +205,15 @@ func New(eng *sim.Engine, cfg Config) (*Kernel, error) {
 	k.rec = power.NewRecorder(cfg.Model, power.State{
 		Step: k.step, V: k.powerVolt, Mode: power.ModeNap,
 	})
+	reg := cfg.Telemetry
+	k.telQuanta = reg.Counter(telemetry.MKernelQuanta)
+	k.telUtil = reg.Histogram(telemetry.MKernelQuantumUtil, telemetry.UtilBuckets)
+	k.telIdle = reg.Counter(telemetry.MKernelIdleDispatch)
+	k.telSpeed = reg.Counter(telemetry.MKernelSpeedChanges)
+	k.telFailed = reg.Counter(telemetry.MKernelFailedSpeed)
+	k.telVolt = reg.Counter(telemetry.MKernelVoltChanges)
+	k.telStallUs = reg.Counter(telemetry.MKernelStallMicros)
+	eng.Instrument(reg)
 	return k, nil
 }
 
@@ -384,6 +408,8 @@ func (k *Kernel) tick(now sim.Time) {
 	}
 	k.utilLog = append(k.utilLog, UtilSample{At: now, PP10K: util, StepAt: k.step})
 	k.busyQuantum = 0
+	k.telQuanta.Inc()
+	k.telUtil.Observe(float64(util) / 10000)
 
 	if k.cfg.Policy != nil {
 		s, v := k.cfg.Policy.OnQuantum(now, util, k.step, k.volt)
@@ -425,6 +451,7 @@ func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
 	}
 	if v != k.volt {
 		k.voltChanges++
+		k.telVolt.Inc()
 		old := k.volt
 		k.volt = v
 		if v == cpu.VLow && old == cpu.VHigh {
@@ -445,8 +472,10 @@ func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
 	if s != k.step {
 		if k.cfg.Faults.ClockChangeFails() {
 			k.failedChanges++
+			k.telFailed.Inc()
 		} else {
 			k.speedChanges++
+			k.telSpeed.Inc()
 			k.stampResidency(now)
 			k.step = s
 			k.beginStall(now, cpu.ClockChangeStall+k.cfg.Faults.ExtraSettle())
@@ -468,6 +497,7 @@ func (k *Kernel) beginStall(now sim.Time, stall sim.Duration) {
 		}
 	}
 	k.stalling = true
+	k.telStallUs.Add(int64(stall))
 	k.setPowerState(now)
 	if _, err := k.eng.At(now+stall, func(t sim.Time) {
 		k.account(t)
@@ -484,6 +514,7 @@ func (k *Kernel) dispatch(now sim.Time) {
 	for k.cur == nil {
 		if len(k.runq) == 0 {
 			// Idle: pid 0 runs and the power manager naps the core.
+			k.telIdle.Inc()
 			k.logDecision(SchedEntry{At: now, PID: 0, KHz: k.step.KHz()})
 			k.setPowerState(now)
 			return

@@ -496,7 +496,7 @@ func TestEventCapAbortsRun(t *testing.T) {
 	if _, err := k.Spawn(busyLoop{burst: cpu.Burst{Core: 1000}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.Run(100*sim.Second); !errors.Is(err, sim.ErrEventCap) {
+	if err := k.Run(100 * sim.Second); !errors.Is(err, sim.ErrEventCap) {
 		t.Fatalf("Run = %v, want ErrEventCap", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"clocksched/internal/cpu"
 	"clocksched/internal/sim"
+	"clocksched/internal/telemetry"
 )
 
 // Bounds is the hysteresis pair that decides *when* to scale: if the
@@ -54,6 +55,17 @@ type Governor struct {
 	voltageScale bool
 
 	upCount, downCount int
+
+	// Telemetry counters; nil (no-op) unless Instrument was called.
+	telUp, telDown, telHold *telemetry.Counter
+}
+
+// Instrument attaches per-decision telemetry counters
+// (policy_decisions_total by decision). A nil registry detaches them.
+func (g *Governor) Instrument(reg *telemetry.Registry) {
+	g.telUp = reg.Counter(telemetry.MPolicyScaleUp)
+	g.telDown = reg.Counter(telemetry.MPolicyScaleDown)
+	g.telHold = reg.Counter(telemetry.MPolicyHold)
 }
 
 // NewGovernor builds a governor. Separate setters may be given for scaling
@@ -108,6 +120,14 @@ func (g *Governor) Decide(util int, cur cpu.Step) Decision {
 		if d.ScaledDn {
 			g.downCount++
 		}
+	}
+	switch {
+	case d.ScaledUp:
+		g.telUp.Inc()
+	case d.ScaledDn:
+		g.telDown.Inc()
+	default:
+		g.telHold.Inc()
 	}
 	d.V = g.voltageFor(d.Step)
 	return d

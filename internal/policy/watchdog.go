@@ -5,6 +5,7 @@ import (
 
 	"clocksched/internal/cpu"
 	"clocksched/internal/sim"
+	"clocksched/internal/telemetry"
 )
 
 // QuantumPolicy is the per-quantum decision interface the watchdog
@@ -145,6 +146,28 @@ type Watchdog struct {
 	hold     int // current escalation level, quanta
 	trips    WatchdogTrips
 	quanta   int // total quanta observed, for TrippedAt diagnostics
+
+	// Telemetry; all nil (no-op) unless Instrument was called. reg is kept
+	// for emitting trip/readmit events to the run-event stream.
+	reg     *telemetry.Registry
+	telOsc  *telemetry.Counter
+	telPeg  *telemetry.Counter
+	telMiss *telemetry.Counter
+	telSafe *telemetry.Gauge
+}
+
+// Instrument attaches trip counters, the safe-mode gauge, and the event
+// stream, and forwards the registry to the supervised policy when it is
+// instrumentable too. A nil registry detaches everything.
+func (w *Watchdog) Instrument(reg *telemetry.Registry) {
+	w.reg = reg
+	w.telOsc = reg.Counter(telemetry.MWatchdogOscillation)
+	w.telPeg = reg.Counter(telemetry.MWatchdogPegging)
+	w.telMiss = reg.Counter(telemetry.MWatchdogMissStreak)
+	w.telSafe = reg.Gauge(telemetry.MWatchdogSafeMode)
+	if in, ok := w.inner.(interface{ Instrument(*telemetry.Registry) }); ok {
+		in.Instrument(reg)
+	}
 }
 
 // NewWatchdog wraps inner with the given supervisory config (zero fields
@@ -211,7 +234,7 @@ func (w *Watchdog) NoteDeadline(late bool) {
 	}
 	w.missRun++
 	if w.missRun >= w.cfg.MissStreak {
-		w.trip(&w.trips.MissStreak)
+		w.trip(&w.trips.MissStreak, w.telMiss, "miss_streak")
 	}
 }
 
@@ -243,7 +266,7 @@ func (w *Watchdog) OnQuantum(now sim.Time, util int, cur cpu.Step, v cpu.Voltage
 		w.filled++
 	}
 	if w.reversals() >= w.cfg.MaxReversals {
-		w.trip(&w.trips.Oscillation)
+		w.trip(&w.trips.Oscillation, w.telOsc, "oscillation")
 		return cpu.MaxStep, cpu.VHigh
 	}
 
@@ -251,7 +274,7 @@ func (w *Watchdog) OnQuantum(now sim.Time, util int, cur cpu.Step, v cpu.Voltage
 	if s == cpu.MinStep && cur == cpu.MinStep && util >= w.cfg.PegUtil {
 		w.pegRun++
 		if w.pegRun >= w.cfg.PegQuanta {
-			w.trip(&w.trips.Pegging)
+			w.trip(&w.trips.Pegging, w.telPeg, "pegging")
 			return cpu.MaxStep, cpu.VHigh
 		}
 	} else {
@@ -282,8 +305,14 @@ func (w *Watchdog) reversals() int {
 
 // trip enters safe mode, charges the given cause, and doubles the next hold
 // (escalating hysteresis, capped).
-func (w *Watchdog) trip(cause *int) {
+func (w *Watchdog) trip(cause *int, tel *telemetry.Counter, kind string) {
 	*cause++
+	tel.Inc()
+	w.telSafe.Set(1)
+	w.reg.Emit("watchdog.trip",
+		telemetry.F("kind", kind),
+		telemetry.F("quantum", fmt.Sprint(w.quanta)),
+		telemetry.F("hold_quanta", fmt.Sprint(w.hold)))
 	w.safe = true
 	w.safeLeft = w.hold
 	if w.hold < w.cfg.MaxSafeQuanta {
@@ -300,6 +329,8 @@ func (w *Watchdog) trip(cause *int) {
 // Reset forgives history.
 func (w *Watchdog) readmit() {
 	w.safe = false
+	w.telSafe.Set(0)
+	w.reg.Emit("watchdog.readmit", telemetry.F("quantum", fmt.Sprint(w.quanta)))
 	w.clearDetectors()
 	if r, ok := w.inner.(interface{ Reset() }); ok {
 		r.Reset()
@@ -318,6 +349,7 @@ func (w *Watchdog) clearDetectors() {
 // including trip counts and hold escalation.
 func (w *Watchdog) Reset() {
 	w.safe = false
+	w.telSafe.Set(0)
 	w.safeLeft = 0
 	w.hold = w.cfg.SafeQuanta
 	w.trips = WatchdogTrips{}

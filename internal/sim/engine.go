@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+
+	"clocksched/internal/telemetry"
 )
 
 // Event is a callback scheduled to fire at a specific virtual time.
@@ -74,6 +76,18 @@ type Engine struct {
 	// instant, say) terminates with a diagnostic instead of hanging the
 	// host process.
 	MaxEvents uint64
+
+	// Telemetry instruments; nil (the default) when telemetry is disabled,
+	// in which case the hot path pays one nil check per operation.
+	telFired *telemetry.Counter
+	telDepth *telemetry.Gauge
+}
+
+// Instrument attaches telemetry instruments to the engine. A nil registry
+// detaches them (sim_events_fired_total, sim_event_queue_depth).
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	e.telFired = reg.Counter(telemetry.MSimEventsFired)
+	e.telDepth = reg.Gauge(telemetry.MSimQueueDepth)
 }
 
 // ErrPast is returned when an event is scheduled before the current time.
@@ -104,6 +118,7 @@ func (e *Engine) At(t Time, fn Event) (Handle, error) {
 	s := &scheduled{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, s)
+	e.telDepth.Set(float64(len(e.queue)))
 	return Handle{e: s}, nil
 }
 
@@ -126,6 +141,7 @@ func (e *Engine) Cancel(h Handle) bool {
 	heap.Remove(&e.queue, s.index)
 	s.index = -1
 	s.fn = nil
+	e.telDepth.Set(float64(len(e.queue)))
 	return true
 }
 
@@ -164,6 +180,8 @@ func (e *Engine) Step() bool {
 	s := heap.Pop(&e.queue).(*scheduled)
 	e.now = s.at
 	e.fired++
+	e.telFired.Inc()
+	e.telDepth.Set(float64(len(e.queue)))
 	fn := s.fn
 	s.fn = nil
 	fn(e.now)

@@ -13,7 +13,12 @@ import (
 // previously cached run results. Bump it whenever a change can alter the
 // output of any run — a new power calibration, a workload tweak, a policy
 // fix — and leave it alone for pure refactors.
-const Version = "clocksched-sim/2"
+//
+// sim/3: the DAQ now covers capture windows that are not whole multiples of
+// the sample interval (ceiling division plus a last-sample overhang refund
+// in Energy), and the cached Result wire format gained the per-run
+// telemetry summary.
+const Version = "clocksched-sim/3"
 
 // Hasher accumulates named fields into a canonical, order-sensitive
 // encoding and digests them into a content-addressed cache key. Two specs

@@ -218,8 +218,13 @@ func MustHistogram(lo, hi float64, nbins int) *Histogram {
 	return h
 }
 
-// Add records one sample.
+// Add records one sample. Out-of-range samples clamp to the edge bins; NaN
+// samples are ignored, since int(NaN) would silently land in bin 0 and
+// corrupt both the bin and Total.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
 	if bin < 0 {
 		bin = 0
@@ -231,9 +236,11 @@ func (h *Histogram) Add(x float64) {
 	h.Total++
 }
 
-// Fraction returns the fraction of samples that fell in bin i.
+// Fraction returns the fraction of samples that fell in bin i. An empty
+// histogram or an out-of-range bin index reports 0 rather than NaN or a
+// panic.
 func (h *Histogram) Fraction(i int) float64 {
-	if h.Total == 0 {
+	if h.Total == 0 || i < 0 || i >= len(h.Counts) {
 		return 0
 	}
 	return float64(h.Counts[i]) / float64(h.Total)

@@ -177,6 +177,18 @@ func TestHistogram(t *testing.T) {
 	if (&Histogram{Counts: make([]int, 1)}).Fraction(0) != 0 {
 		t.Error("empty histogram fraction should be 0")
 	}
+	// Out-of-range bin indices report 0 instead of panicking.
+	if h.Fraction(-1) != 0 || h.Fraction(len(h.Counts)) != 0 {
+		t.Error("out-of-range bin fraction should be 0")
+	}
+	// NaN samples are ignored: they would otherwise clamp into bin 0 and
+	// inflate Total.
+	before0, beforeTotal := h.Counts[0], h.Total
+	h.Add(math.NaN())
+	if h.Counts[0] != before0 || h.Total != beforeTotal {
+		t.Errorf("NaN sample changed histogram: bin0 %d→%d, total %d→%d",
+			before0, h.Counts[0], beforeTotal, h.Total)
+	}
 }
 
 func TestHistogramConstructionErrors(t *testing.T) {

@@ -9,6 +9,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"clocksched/internal/telemetry"
 )
 
 // Codec serializes cached values. The cache stores encoded bytes — in
@@ -40,6 +44,38 @@ type Cache struct {
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
 	stats   CacheStats
+
+	// tel is swapped atomically so Get/Put read it without the LRU lock;
+	// nil (the default) means no instrumentation and no clock reads.
+	tel atomic.Pointer[cacheTel]
+}
+
+// cacheTel bundles the cache's pre-resolved telemetry instruments.
+type cacheTel struct {
+	hits, misses, diskHits         *telemetry.Counter
+	getHit, getMiss, getDisk, putH *telemetry.Histogram
+}
+
+// Instrument attaches cache-traffic counters and Get/Put latency histograms
+// to the registry (sweep_cache_*). A nil registry detaches them; a nil cache
+// is a no-op, so callers can instrument unconditionally.
+func (c *Cache) Instrument(reg *telemetry.Registry) {
+	if c == nil {
+		return
+	}
+	if reg == nil {
+		c.tel.Store(nil)
+		return
+	}
+	c.tel.Store(&cacheTel{
+		hits:     reg.Counter(telemetry.MCacheHits),
+		misses:   reg.Counter(telemetry.MCacheMisses),
+		diskHits: reg.Counter(telemetry.MCacheDiskHits),
+		getHit:   reg.Histogram(telemetry.MCacheGetHitSecs, telemetry.SecondsBuckets),
+		getMiss:  reg.Histogram(telemetry.MCacheGetMissSecs, telemetry.SecondsBuckets),
+		getDisk:  reg.Histogram(telemetry.MCacheGetDiskSecs, telemetry.SecondsBuckets),
+		putH:     reg.Histogram(telemetry.MCachePutSecs, telemetry.SecondsBuckets),
+	})
 }
 
 // cacheEntry is one LRU slot.
@@ -81,6 +117,11 @@ func NewCache(maxEntries int, dir string, codec Codec) (*Cache, error) {
 // memory. The decoded value, a hit flag, and any decode error are returned;
 // a missing entry is (nil, false, nil).
 func (c *Cache) Get(key string) (any, bool, error) {
+	tel := c.tel.Load()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -90,6 +131,10 @@ func (c *Cache) Get(key string) (any, bool, error) {
 		v, err := c.codec.Decode(b)
 		if err != nil {
 			return nil, false, err
+		}
+		if tel != nil {
+			tel.hits.Inc()
+			tel.getHit.ObserveSince(t0)
 		}
 		return v, true, nil
 	}
@@ -101,6 +146,11 @@ func (c *Cache) Get(key string) (any, bool, error) {
 			v, derr := c.codec.Decode(b)
 			if derr == nil {
 				c.insert(key, b, true)
+				if tel != nil {
+					tel.hits.Inc()
+					tel.diskHits.Inc()
+					tel.getDisk.ObserveSince(t0)
+				}
 				return v, true, nil
 			}
 			// A corrupt or stale-format file is a miss; the fresh run
@@ -111,12 +161,19 @@ func (c *Cache) Get(key string) (any, bool, error) {
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
+	if tel != nil {
+		tel.misses.Inc()
+		tel.getMiss.ObserveSince(t0)
+	}
 	return nil, false, nil
 }
 
 // Put encodes v and stores it under key, in memory and (when configured) on
 // disk.
 func (c *Cache) Put(key string, v any) error {
+	if tel := c.tel.Load(); tel != nil {
+		defer tel.putH.ObserveSince(time.Now())
+	}
 	b, err := c.codec.Encode(v)
 	if err != nil {
 		return fmt.Errorf("sweep: encoding cache entry: %w", err)

@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"clocksched/internal/telemetry"
 )
 
 // Job is one cell of a sweep grid.
@@ -45,9 +48,31 @@ type Options struct {
 	// just re-runs the cell.
 	Cache *Cache
 	// OnProgress, when non-nil, is called after each cell completes (hit,
-	// run, or failed) with the number done and the grid total. Calls are
-	// serialized; the callback must not re-enter the sweep.
+	// run, or failed) with the number done and the grid total. Calls may
+	// run concurrently from multiple workers and completions may be
+	// reported out of order, but each call carries a distinct done count
+	// and the final cell always reports done == total; the callback must
+	// synchronize its own state and must not re-enter the sweep. It is
+	// called outside the pool's internal lock, so a slow callback costs
+	// only its own worker.
 	OnProgress func(done, total int)
+	// Telemetry, when non-nil, receives live pool-occupancy gauges, cell
+	// counters/latencies, and (together with Cache) cache traffic. Nil
+	// disables instrumentation.
+	Telemetry *telemetry.Registry
+	// Stats, when non-nil, is filled with the sweep's pool statistics
+	// before Run returns.
+	Stats *PoolStats
+}
+
+// PoolStats summarizes one sweep's worker-pool behaviour.
+type PoolStats struct {
+	Workers  int // pool size actually used
+	PeakBusy int // most cells observed running concurrently
+	Ran      int // cells executed fresh
+	Cached   int // cells served from the cache
+	Failed   int // cells that returned an error
+	Skipped  int // cells never started (cancellation or FailFast)
 }
 
 // Outcome is one cell's result, in grid order.
@@ -92,11 +117,22 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	tel := opts.Telemetry
+	telBusy := tel.Gauge(telemetry.MSweepWorkersBusy)
+	telPeak := tel.Gauge(telemetry.MSweepWorkersPeak)
+	telRun := tel.Counter(telemetry.MSweepCellsRun)
+	telCached := tel.Counter(telemetry.MSweepCellsCached)
+	telFailed := tel.Counter(telemetry.MSweepCellsFailed)
+	telCell := tel.Timer(telemetry.MSweepCellSeconds)
+	opts.Cache.Instrument(tel)
+
 	var (
 		mu       sync.Mutex
 		done     int
 		firstErr error
 		ran      = make([]bool, len(jobs))
+
+		busy, peak atomic.Int64
 	)
 
 	idx := make(chan int)
@@ -117,21 +153,42 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				b := busy.Add(1)
+				telBusy.Set(float64(b))
+				telPeak.SetMax(float64(b))
+				for p := peak.Load(); b > p && !peak.CompareAndSwap(p, b); p = peak.Load() {
+				}
+				span := telCell.Start()
 				o := runJob(runCtx, jobs[i], opts.Cache)
+				span.Stop()
+				telBusy.Set(float64(busy.Add(-1)))
+				switch {
+				case o.Err != nil:
+					telFailed.Inc()
+				case o.Cached:
+					telCached.Inc()
+				default:
+					telRun.Inc()
+				}
+
 				mu.Lock()
 				out[i] = o
 				ran[i] = true
 				done++
+				d := done
 				if o.Err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("cell %d: %w", i, o.Err)
 					if opts.FailFast {
 						cancel()
 					}
 				}
-				if opts.OnProgress != nil {
-					opts.OnProgress(done, len(jobs))
-				}
 				mu.Unlock()
+				// The callback runs outside the pool lock: a slow or
+				// re-entrant observer stalls only its own worker instead of
+				// serializing (or deadlocking) the whole pool.
+				if opts.OnProgress != nil {
+					opts.OnProgress(d, len(jobs))
+				}
 			}
 		}()
 	}
@@ -141,10 +198,20 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		errs = append(errs, err)
 	}
+	stats := PoolStats{Workers: workers, PeakBusy: int(peak.Load())}
 	for i := range jobs {
 		if !ran[i] {
 			out[i] = Outcome{Err: ErrSkipped}
+			stats.Skipped++
 			continue
+		}
+		switch {
+		case out[i].Err != nil:
+			stats.Failed++
+		case out[i].Cached:
+			stats.Cached++
+		default:
+			stats.Ran++
 		}
 		if out[i].Err != nil && !opts.FailFast {
 			errs = append(errs, fmt.Errorf("cell %d: %w", i, out[i].Err))
@@ -152,6 +219,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	}
 	if opts.FailFast && firstErr != nil {
 		errs = append(errs, firstErr)
+	}
+	if opts.Stats != nil {
+		*opts.Stats = stats
 	}
 	return out, errors.Join(errs...)
 }

@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"clocksched/internal/telemetry"
 )
 
 // jsonCodec round-trips int values for cache tests.
@@ -147,25 +150,139 @@ func TestRunContextCancel(t *testing.T) {
 }
 
 func TestRunProgress(t *testing.T) {
-	var calls []int
+	// Callbacks may run concurrently and out of order, but each done count
+	// must be reported exactly once with the right total.
+	var mu sync.Mutex
+	seen := map[int]int{}
 	jobs := make([]Job, 9)
 	for i := range jobs {
 		jobs[i] = Job{Run: func(context.Context) (any, error) { return i, nil }}
 	}
 	_, err := Run(context.Background(), jobs, Options{
-		Workers:    4,
-		OnProgress: func(done, total int) { calls = append(calls, done*100+total) },
+		Workers: 4,
+		OnProgress: func(done, total int) {
+			if total != 9 {
+				t.Errorf("total = %d, want 9", total)
+			}
+			mu.Lock()
+			seen[done]++
+			mu.Unlock()
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(calls) != 9 {
-		t.Fatalf("%d progress calls", len(calls))
+	if len(seen) != 9 {
+		t.Fatalf("%d distinct done counts, want 9", len(seen))
 	}
-	for i, c := range calls {
-		if c != (i+1)*100+9 {
-			t.Fatalf("call %d = %d; progress not serialized in completion order", i, c)
+	for d := 1; d <= 9; d++ {
+		if seen[d] != 1 {
+			t.Errorf("done=%d reported %d times", d, seen[d])
 		}
+	}
+}
+
+// TestRunProgressOutsideLock is the regression test for the progress
+// deadlock: OnProgress used to be invoked while holding the pool mutex, so a
+// callback that blocked until another cell completed could never be
+// satisfied — the completing worker needed the same mutex to finish. With
+// the callback outside the lock, a worker blocked in OnProgress must not
+// stop other workers from completing cells.
+func TestRunProgressOutsideLock(t *testing.T) {
+	release := make(chan struct{}, 1)
+	var once sync.Once
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			jobs[i] = Job{Run: func(context.Context) (any, error) { return i, nil }}
+		}
+		_, err := Run(context.Background(), jobs, Options{
+			Workers: 4,
+			OnProgress: func(d, total int) {
+				// The first callback to arrive parks until some other
+				// worker's callback runs. Under the old
+				// callback-inside-lock behaviour both needed the pool
+				// mutex, so this deadlocked.
+				var first bool
+				once.Do(func() { first = true })
+				if first {
+					<-release
+				} else {
+					select {
+					case release <- struct{}{}:
+					default:
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep deadlocked: progress callback blocked the pool")
+	}
+}
+
+// TestRunTelemetryAndStats drives parallel workers against one shared
+// registry (the -race soundness case) and checks the pool metrics and
+// PoolStats agree with the outcomes.
+func TestRunTelemetryAndStats(t *testing.T) {
+	reg := telemetry.New()
+	c, err := NewCache(64, "", jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("warm", 7); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Key: "warm", Run: func(context.Context) (any, error) { t.Error("warm cell ran"); return nil, nil }},
+		{Key: "cold-a", Run: func(context.Context) (any, error) { return 1, nil }},
+		{Key: "cold-b", Run: func(context.Context) (any, error) { return 2, nil }},
+		{Run: func(context.Context) (any, error) { return nil, boom }},
+	}
+	var stats PoolStats
+	_, err = Run(context.Background(), jobs, Options{
+		Workers:   3,
+		Cache:     c,
+		Telemetry: reg,
+		Stats:     &stats,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	want := PoolStats{Workers: 3, PeakBusy: stats.PeakBusy, Ran: 2, Cached: 1, Failed: 1}
+	if stats.PeakBusy < 1 || stats.PeakBusy > 3 {
+		t.Errorf("peak busy = %d, want 1..3", stats.PeakBusy)
+	}
+	if stats != want {
+		t.Errorf("stats = %+v, want %+v", stats, want)
+	}
+	s := reg.Snapshot()
+	if s.Counters[telemetry.MSweepCellsRun] != 2 ||
+		s.Counters[telemetry.MSweepCellsCached] != 1 ||
+		s.Counters[telemetry.MSweepCellsFailed] != 1 {
+		t.Errorf("cell counters: %v", s.Counters)
+	}
+	if s.Counters[telemetry.MCacheHits] != 1 || s.Counters[telemetry.MCacheMisses] != 2 {
+		t.Errorf("cache counters: %v", s.Counters)
+	}
+	// The busy gauge's final value depends on Set interleaving near the
+	// end of the sweep; it must only end within the pool's bounds.
+	if got := s.Gauges[telemetry.MSweepWorkersBusy]; got < 0 || got >= 3 {
+		t.Errorf("busy gauge = %v after sweep, want within [0, workers)", got)
+	}
+	if got := s.Gauges[telemetry.MSweepWorkersPeak]; got != float64(stats.PeakBusy) {
+		t.Errorf("peak gauge = %v, stats peak %d", got, stats.PeakBusy)
+	}
+	if h := s.Histograms[telemetry.MSweepCellSeconds]; h.Count != 4 {
+		t.Errorf("cell timer observed %d cells, want 4", h.Count)
 	}
 }
 

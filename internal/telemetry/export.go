@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry plus
+// the buffered run events, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Events     []Event                      `json:"events,omitempty"`
+}
+
+// Snapshot copies the registry. A nil registry snapshots empty (non-nil
+// maps, so callers can index without guards).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	s.Events = r.Events()
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// baseName strips a trailing {label} block from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labels returns the label block's contents, without braces, or "".
+func labels(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
+}
+
+// withLabels renders base plus merged label pairs as a series name.
+func withLabels(base string, pairs ...string) string {
+	var kept []string
+	for _, p := range pairs {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return base
+	}
+	return base + "{" + strings.Join(kept, ",") + "}"
+}
+
+// WritePrometheus writes every instrument in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, and histograms with cumulative
+// _bucket/_sum/_count series. Names are emitted in sorted order so the
+// output is deterministic; labelled series share one TYPE line per base
+// name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+
+	typed := map[string]bool{} // base names whose TYPE line was written
+	writeType := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeType(baseName(n), "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeType(baseName(n), "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", n, formatFloat(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		base, lab := baseName(n), labels(n)
+		if err := writeType(base, "histogram"); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			series := withLabels(base+"_bucket", lab, `le="`+formatFloat(b)+`"`)
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, cum); err != nil {
+				return err
+			}
+		}
+		series := withLabels(base+"_bucket", lab, `le="+Inf"`)
+		if _, err := fmt.Fprintf(w, "%s %d\n", series, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", withLabels(base+"_sum", lab), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabels(base+"_count", lab), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

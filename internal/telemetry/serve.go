@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// served points at the most recently served registry, for the process-wide
+// expvar publication (expvar's namespace is global and rejects duplicate
+// names, so the "telemetry" var is published once and follows the latest
+// server).
+var (
+	served     atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// Server is a live telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (":0" picks an ephemeral port)
+// exposing the registry at /metrics (Prometheus text) and /metrics.json
+// (JSON snapshot with the run-event stream), the process expvars at
+// /debug/vars — including a "telemetry" var mirroring the snapshot — and
+// the net/http/pprof profiler under /debug/pprof/, so a long sweep can be
+// watched and profiled live.
+func Serve(addr string, r *Registry) (*Server, error) {
+	served.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return served.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:43115".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -52,9 +52,16 @@ type SweepConfig struct {
 	// content-addressed result cache instead of re-simulating them.
 	Cache *SweepCache
 	// Progress, when non-nil, is called after each cell completes (run,
-	// cache hit, or failure) with the number done and the grid total.
-	// Calls are serialized.
+	// cache hit, or failure) with the number done and the grid total. Calls
+	// may run concurrently and out of order, but each carries a distinct
+	// done count and the final one reports done == total; the callback runs
+	// outside the pool's internal lock, so it may block — or run further
+	// sweeps — without stalling the workers.
 	Progress func(done, total int)
+	// Telemetry, when non-nil, instruments the worker pool, the cache, and
+	// every cell's simulation stack. Purely observational: cell results and
+	// cache keys are unaffected.
+	Telemetry *Telemetry
 }
 
 // SweepCell is one completed cell of a sweep.
@@ -78,7 +85,25 @@ type SweepResult struct {
 	// slice index.
 	Cells []SweepCell
 
+	// Telemetry summarizes the worker pool's activity over the sweep.
+	Telemetry SweepTelemetry
+
 	nw, np, ns int // axis dimensions; all zero for explicit grids
+}
+
+// SweepTelemetry is the pool activity summary of one completed sweep.
+type SweepTelemetry struct {
+	// Workers is the resolved pool size the sweep ran with.
+	Workers int
+	// PeakBusy is the most workers ever simultaneously running cells.
+	PeakBusy int
+	// Ran, Cached, and Failed partition the completed cells: simulated,
+	// served from the cache, and errored. Skipped counts cells abandoned
+	// by a fail-fast abort or context cancellation.
+	Ran     int
+	Cached  int
+	Failed  int
+	Skipped int
 }
 
 // CellAt returns the cell at the given axis indices of an axis-built
@@ -201,8 +226,15 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	jobs := make([]sweep.Job, len(cells))
 	for i, c := range cells {
 		c := c
+		// The cache key is computed before the telemetry registry is
+		// attached and hashes named fields only, so instrumentation can
+		// never split the cache.
+		key := cacheKey(c)
+		if c.Telemetry == nil {
+			c.Telemetry = cfg.Telemetry
+		}
 		jobs[i] = sweep.Job{
-			Key: cacheKey(c),
+			Key: key,
 			Run: func(ctx context.Context) (any, error) {
 				return RunContext(ctx, c)
 			},
@@ -212,18 +244,29 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if cfg.Cache != nil {
 		inner = cfg.Cache.inner
 	}
+	var pstats sweep.PoolStats
 	outs, err := sweep.Run(ctx, jobs, sweep.Options{
 		Workers:    cfg.Workers,
 		FailFast:   cfg.FailFast,
 		Cache:      inner,
 		OnProgress: cfg.Progress,
+		Telemetry:  cfg.Telemetry.registry(),
+		Stats:      &pstats,
 	})
 	if cfg.FailFast && err != nil {
 		return nil, err
 	}
 	res := &SweepResult{
 		Cells: make([]SweepCell, len(cells)),
-		nw:    nw, np: np, ns: ns,
+		Telemetry: SweepTelemetry{
+			Workers:  pstats.Workers,
+			PeakBusy: pstats.PeakBusy,
+			Ran:      pstats.Ran,
+			Cached:   pstats.Cached,
+			Failed:   pstats.Failed,
+			Skipped:  pstats.Skipped,
+		},
+		nw: nw, np: np, ns: ns,
 	}
 	for i, o := range outs {
 		cell := SweepCell{Config: cells[i].withDefaults(), Err: o.Err, Cached: o.Cached}
@@ -352,6 +395,8 @@ type resultWire struct {
 
 	Faults   *FaultReport
 	Watchdog *WatchdogReport
+
+	Telemetry RunTelemetry
 }
 
 // encodeResult serializes a Result canonically: equal Results produce
@@ -373,6 +418,7 @@ func encodeResult(r *Result) ([]byte, error) {
 		Trace:           r.trace,
 		Faults:          r.Faults,
 		Watchdog:        r.Watchdog,
+		Telemetry:       r.Telemetry,
 	}
 	for mhz, d := range r.TimeAtMHz {
 		w.Residency = append(w.Residency, residencyWire{MHz: mhz, D: d})
@@ -408,6 +454,7 @@ func decodeResult(b []byte) (*Result, error) {
 		trace:           w.Trace,
 		Faults:          w.Faults,
 		Watchdog:        w.Watchdog,
+		Telemetry:       w.Telemetry,
 	}
 	for _, e := range w.Residency {
 		r.TimeAtMHz[e.MHz] = e.D
