@@ -1,11 +1,12 @@
 # Build and verification tiers. `make check` is the full local gate:
-# static vetting, the complete test suite under the race detector, a short
-# fuzz smoke of the trace parser, the kernel stress tests under -race, and
-# the parallel-sweep determinism proof under -race.
+# static vetting, the complete test suite under the race detector, short
+# fuzz smokes of the trace parser and the journal replayer, the kernel
+# stress tests under -race, the parallel-sweep determinism proof under
+# -race, and the durability (checkpoint/resume/retry) suite under -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race bench-sweep
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race bench-sweep
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,7 @@ race:
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
 
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
@@ -37,10 +39,16 @@ sweep-race:
 telemetry-race:
 	$(GO) test -race -count=1 -run 'Telemetry|Concurrent|Prometheus|Progress' -v . ./internal/telemetry/ ./internal/sweep/
 
+# The durability layer under the race detector: journal framing and
+# torn-tail recovery, kill-and-resume byte identity, retry/backoff of
+# transient faults, per-cell deadline budgets, and cache quarantine.
+durability-race:
+	$(GO) test -race -count=1 -run 'Durable|Resume|Retry|Timeout|Journal|Deadline|Corrupt|Spill|Transient' -v . ./internal/sweep/ ./internal/journal/ ./internal/expt/ ./internal/telemetry/
+
 # Serial vs parallel wall time of the full Table 2 grid, recorded to
 # BENCH_sweep.json (also verifies the merges are identical).
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race
 	@echo "check: all tiers passed"

@@ -298,6 +298,13 @@ type FaultPlan struct {
 	TraceDropProb  float64
 	TraceDelayProb float64
 	TraceDelayMax  time.Duration // zero: 5 ms
+	// CellAbortProb kills the whole run at a quantum boundary with that
+	// per-quantum probability — the crashed-worker failure mode. The
+	// resulting error is transient, so a Sweep configured with Retries
+	// re-runs the cell; the abort schedule is re-drawn per attempt while
+	// every other fault decision (and any successful run) stays
+	// bit-identical.
+	CellAbortProb float64
 }
 
 func (p *FaultPlan) internal() *fault.Plan {
@@ -316,6 +323,7 @@ func (p *FaultPlan) internal() *fault.Plan {
 		TraceDropProb:       p.TraceDropProb,
 		TraceDelayProb:      p.TraceDelayProb,
 		TraceDelayMax:       sim.Duration(p.TraceDelayMax / time.Microsecond),
+		CellAbortProb:       p.CellAbortProb,
 	}
 }
 

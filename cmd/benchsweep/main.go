@@ -67,8 +67,15 @@ func run(workers int) (*clocksched.SweepResult, time.Duration, error) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_sweep.json", "report file")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count")
+		out         = flag.String("out", "BENCH_sweep.json", "report file")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count")
+		cache       = flag.String("cache", "", "cell cache directory for the parallel leg (empty disables)")
+		journal     = flag.String("journal", "", "durable cell journal for the parallel leg (needs -cache)")
+		resume      = flag.Bool("resume", false, "replay cells already committed to -journal")
+		cellTimeout = flag.Duration("cell-timeout", 0,
+			"wall-clock budget per cell attempt on the parallel leg (0 disables)")
+		retries = flag.Int("retries", 0,
+			"per-cell retry budget for transient failures on the parallel leg")
 	)
 	flag.Parse()
 
@@ -77,7 +84,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsweep: serial:", err)
 		os.Exit(1)
 	}
-	parallel, parallelTime, err := run(*workers)
+	// The durability knobs exercise only the parallel leg, so the serial
+	// baseline stays the seed-identical reference the merge is checked
+	// against.
+	pcfg := table2Config(*workers)
+	if *cache != "" {
+		c, err := clocksched.NewSweepCache(0, *cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: cache:", err)
+			os.Exit(1)
+		}
+		pcfg.Cache = c
+	}
+	pcfg.Journal = *journal
+	pcfg.Resume = *resume
+	pcfg.CellTimeout = *cellTimeout
+	pcfg.Retries = *retries
+	start := time.Now()
+	parallel, err := clocksched.Sweep(context.Background(), pcfg)
+	parallelTime := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep: parallel:", err)
 		os.Exit(1)

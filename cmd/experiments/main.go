@@ -25,8 +25,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"clocksched/internal/expt"
+	"clocksched/internal/sweep"
 	"clocksched/internal/telemetry"
 )
 
@@ -38,6 +41,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload jitter seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers for grid experiments")
 		nocache = flag.Bool("nocache", false, "skip the on-disk cell cache under <out>/cache")
+		resume  = flag.Bool("resume", false,
+			"resume an interrupted run: replay cells committed to <out>/sweep.wal from the cache")
+		cellTimeout = flag.Duration("cell-timeout", 0,
+			"wall-clock budget per grid cell attempt (0 disables)")
+		retries = flag.Int("retries", 0,
+			"retry budget per grid cell for transient failures, with seeded exponential backoff")
 		telAddr = flag.String("telemetry", "",
 			"serve live telemetry on this address (e.g. :8080): /metrics, /metrics.json, /debug/vars, /debug/pprof")
 	)
@@ -50,33 +59,51 @@ func main() {
 		return
 	}
 
+	// run holds the defers (telemetry drain, journal close) so they fire on
+	// every exit path, including an interrupt; os.Exit would skip them.
+	os.Exit(run(outDir, only, seed, workers, nocache, resume, cellTimeout, retries, telAddr))
+}
+
+func run(outDir, only *string, seed *uint64, workers *int, nocache, resume *bool,
+	cellTimeout *time.Duration, retries *int, telAddr *string) int {
+
 	experiments := expt.Registry()
 	if *only != "" {
 		e, ok := expt.Find(strings.ToLower(*only))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *only)
-			os.Exit(2)
+			return 2
 		}
 		experiments = []expt.Experiment{e}
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return 1
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	env := expt.Env{Ctx: ctx, Seed: *seed, Workers: *workers}
+	env := expt.Env{
+		Ctx:         ctx,
+		Seed:        *seed,
+		Workers:     *workers,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+	}
 	if *telAddr != "" {
 		reg := telemetry.New()
 		srv, err := telemetry.Serve(*telAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
-			os.Exit(1)
+			return 1
 		}
-		defer srv.Close()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
 		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s/metrics\n", srv.Addr())
 		env.Telemetry = reg
 	}
@@ -84,9 +111,25 @@ func main() {
 		cache, err := expt.NewCellCache(0, filepath.Join(*outDir, "cache"))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: cache:", err)
-			os.Exit(1)
+			return 1
 		}
 		env.Cache = cache
+		// Each completed cell is committed to the journal; relaunching with
+		// -resume replays them from the cache instead of re-simulating.
+		jr, err := sweep.OpenCellJournal(filepath.Join(*outDir, "sweep.wal"), *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: journal:", err)
+			return 1
+		}
+		defer jr.Close()
+		jr.Instrument(env.Telemetry)
+		if *resume {
+			fmt.Fprintf(os.Stderr, "experiments: resume: %d cell(s) recovered from journal\n", jr.Recovered())
+		}
+		env.Journal = jr
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "experiments: -resume needs the cell cache (drop -nocache)")
+		return 2
 	}
 
 	var written []string
@@ -95,13 +138,16 @@ func main() {
 		summary, artifacts, err := e.Run(env)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			if ctx.Err() != nil && !*nocache {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted; completed cells are journaled — run again with -resume")
+			}
+			return 1
 		}
 		fmt.Print(summary)
 		for _, a := range artifacts {
 			if err := os.WriteFile(filepath.Join(*outDir, a.Name), []byte(a.Content), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			written = append(written, a.Name)
 		}
@@ -113,8 +159,9 @@ func main() {
 		index := expt.IndexHTML(written)
 		if err := os.WriteFile(filepath.Join(*outDir, "index.html"), []byte(index), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("index written to %s\n", filepath.Join(*outDir, "index.html"))
 	}
+	return 0
 }

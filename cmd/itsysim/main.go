@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"clocksched"
@@ -37,7 +38,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "dump the per-quantum utilization/frequency trace")
 		faults   = flag.String("faults", "",
 			"fault injection plan: comma-separated key=value pairs among "+
-				"clockfail, stall, drop, glitch, jitter, tracedrop, tracedelay "+
+				"clockfail, stall, drop, glitch, jitter, tracedrop, tracedelay, abort "+
 				"(probabilities in [0,1]), e.g. clockfail=0.01,jitter=0.05")
 		watchdog = flag.Bool("watchdog", false,
 			"wrap the policy in the supervisory watchdog governor")
@@ -61,42 +62,55 @@ func main() {
 		wd = &clocksched.WatchdogConfig{}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// run holds the telemetry-drain defer so it fires on every exit path,
+	// including an interrupted simulation; os.Exit would skip it.
+	os.Exit(run(pol, plan, wd, *workloadName, *seed, *runs, *workers,
+		*duration, *trace, *telemetryAddr))
+}
+
+func run(pol clocksched.Policy, plan *clocksched.FaultPlan, wd *clocksched.WatchdogConfig,
+	workloadName string, seed uint64, runs, workers int,
+	duration time.Duration, trace bool, telemetryAddr string) int {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var tel *clocksched.Telemetry
-	if *telemetryAddr != "" {
+	if telemetryAddr != "" {
 		tel = clocksched.NewTelemetry()
-		addr, err := tel.Serve(*telemetryAddr)
+		addr, err := tel.Serve(telemetryAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "itsysim:", err)
-			os.Exit(2)
+			return 2
 		}
-		defer tel.Close()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			tel.Shutdown(sctx)
+		}()
 		fmt.Fprintf(os.Stderr, "itsysim: telemetry on http://%s/metrics\n", addr)
 	}
 
-	if *runs > 1 {
-		runBatch(ctx, pol, *workloadName, *seed, *runs, *workers, *duration, plan, wd, tel)
-		return
+	if runs > 1 {
+		return runBatch(ctx, pol, workloadName, seed, runs, workers, duration, plan, wd, tel)
 	}
 
 	res, err := clocksched.RunContext(ctx, clocksched.Config{
-		Workload:     clocksched.Workload(*workloadName),
+		Workload:     clocksched.Workload(workloadName),
 		Policy:       pol,
-		Seed:         *seed,
-		Duration:     *duration,
-		CaptureTrace: *trace,
+		Seed:         seed,
+		Duration:     duration,
+		CaptureTrace: trace,
 		Faults:       plan,
 		Watchdog:     wd,
 		Telemetry:    tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
-		os.Exit(1)
+		return 1
 	}
 
-	fmt.Printf("workload:        %s (seed %d)\n", *workloadName, *seed)
+	fmt.Printf("workload:        %s (seed %d)\n", workloadName, seed)
 	fmt.Printf("policy:          %s\n", pol.Name())
 	fmt.Printf("energy:          %.2f J\n", res.EnergyJoules)
 	fmt.Printf("average power:   %.3f W (peak %.3f W)\n", res.AvgPowerWatts, res.PeakPowerWatts)
@@ -132,12 +146,13 @@ func main() {
 		fmt.Printf("  %6.1f MHz  %v\n", mhz, res.TimeAtMHz[mhz].Round(time.Millisecond))
 	}
 
-	if *trace {
+	if trace {
 		fmt.Println("trace (time, utilization, MHz):")
 		for p := range res.TraceSeq() {
 			fmt.Printf("%v\t%.4f\t%.1f\n", p.At, p.Utilization, p.MHz)
 		}
 	}
+	return 0
 }
 
 // runBatch sweeps the same configuration over consecutive seeds and prints
@@ -145,7 +160,7 @@ func main() {
 func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
 	firstSeed uint64, runs, workers int, duration time.Duration,
 	plan *clocksched.FaultPlan, wd *clocksched.WatchdogConfig,
-	tel *clocksched.Telemetry) {
+	tel *clocksched.Telemetry) int {
 	seeds := make([]uint64, runs)
 	for i := range seeds {
 		seeds[i] = firstSeed + uint64(i)
@@ -163,7 +178,7 @@ func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsysim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("workload: %s, policy: %s, %d runs (seeds %d..%d)\n",
 		workload, pol.Name(), runs, firstSeed, seeds[len(seeds)-1])
@@ -180,6 +195,7 @@ func runBatch(ctx context.Context, pol clocksched.Policy, workload string,
 	pt := sweep.Telemetry
 	fmt.Printf("pool: %d workers (peak busy %d); cells run %d, cached %d, failed %d\n",
 		pt.Workers, pt.PeakBusy, pt.Ran, pt.Cached, pt.Failed)
+	return 0
 }
 
 // parsePolicy understands "constant:<MHz>[:lowv]",
@@ -301,6 +317,8 @@ func parseFaults(spec string) (*clocksched.FaultPlan, error) {
 			plan.TraceDropProb = p
 		case "tracedelay":
 			plan.TraceDelayProb = p
+		case "abort":
+			plan.CellAbortProb = p
 		default:
 			return nil, fmt.Errorf("unknown fault kind %q", kv[0])
 		}

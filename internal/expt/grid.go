@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"clocksched/internal/cpu"
 	"clocksched/internal/kernel"
@@ -29,6 +30,16 @@ type Env struct {
 	// Stats, when non-nil, is filled with the pool statistics of the last
 	// grid run.
 	Stats *sweep.PoolStats
+	// Journal, when non-nil (with Cache), durably commits each completed
+	// cell so an interrupted experiment regeneration can resume, replaying
+	// committed cells from the disk cache.
+	Journal *sweep.CellJournal
+	// CellTimeout, when positive, bounds each cell attempt's wall time.
+	CellTimeout time.Duration
+	// Retries and RetryBase configure per-cell retry of transient failures
+	// with seeded exponential backoff; zero Retries disables.
+	Retries   int
+	RetryBase time.Duration
 }
 
 // DefaultEnv is the serial environment the pre-batch API ran under: one
@@ -132,11 +143,14 @@ func RunGrid(env Env, cells []GridCell, keepUtil bool) ([]Cell, error) {
 		}
 	}
 	outs, err := sweep.Run(env.ctx(), jobs, sweep.Options{
-		Workers:   env.Workers,
-		FailFast:  true,
-		Cache:     env.Cache,
-		Telemetry: env.Telemetry,
-		Stats:     env.Stats,
+		Workers:     env.Workers,
+		FailFast:    true,
+		Cache:       env.Cache,
+		Telemetry:   env.Telemetry,
+		Stats:       env.Stats,
+		Journal:     env.Journal,
+		CellTimeout: env.CellTimeout,
+		Retry:       sweep.RetryPolicy{Max: env.Retries, Base: env.RetryBase, Seed: env.Seed},
 	})
 	if err != nil {
 		return nil, err

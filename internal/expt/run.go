@@ -17,6 +17,7 @@ import (
 	"clocksched/internal/policy"
 	"clocksched/internal/power"
 	"clocksched/internal/sim"
+	"clocksched/internal/sweep"
 	"clocksched/internal/telemetry"
 	"clocksched/internal/workload"
 )
@@ -62,6 +63,13 @@ type RunSpec struct {
 	// non-nil return aborts the run with that error. RunContext wires a
 	// context's Err here; it is excluded from spec hashing.
 	Cancel func() error
+	// Attempt is the zero-based retry attempt of this cell within a sweep.
+	// It salts only the fault injector's cell-abort stream — attempt 0 is
+	// bit-identical to the pre-retry behaviour, and successful runs are
+	// identical across attempts — so it is excluded from spec hashing.
+	// RunContext fills it from the context when the sweep's retry layer
+	// annotated one.
+	Attempt int
 	// Telemetry, when non-nil, receives live instrumentation from the
 	// engine, kernel, policy, and DAQ. Like Cancel it is observational
 	// plumbing: it never influences the simulation and is excluded from
@@ -144,6 +152,9 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 	if spec.Cancel == nil && ctx.Done() != nil {
 		spec.Cancel = ctx.Err
 	}
+	if spec.Attempt == 0 {
+		spec.Attempt = sweep.AttemptFromContext(ctx)
+	}
 	// The workload is built against the unwrapped policy: MPEG inspects
 	// spec.Policy for a DeadlineScheduler to cooperate with, and that
 	// check must see through to the real policy, so the watchdog wraps
@@ -157,7 +168,7 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 		length = w.Duration()
 	}
 
-	inj, err := fault.NewInjector(spec.Faults, spec.Seed)
+	inj, err := fault.NewInjectorAttempt(spec.Faults, spec.Seed, spec.Attempt)
 	if err != nil {
 		return nil, err
 	}

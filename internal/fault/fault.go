@@ -22,6 +22,26 @@ import (
 // uses the unnumbered base stream).
 const Stream = 0xFA017
 
+// abortStreamBase numbers the cell-abort decision streams, one per retry
+// attempt (abortStreamBase+attempt). Abort draws live on their own streams,
+// apart from Stream, for two reasons: a run that survives must stay
+// bit-identical whether or not aborts were armed, and a retried attempt
+// must see an independent abort schedule — otherwise a deterministic
+// injector would kill every retry at the same quantum forever and the
+// retry budget could never help.
+const abortStreamBase = 0x7AB007E1
+
+// ErrCellAbort is the injected mid-run failure. It declares itself
+// transient (Transient() == true), which is what tells the sweep's retry
+// layer the cell is worth re-running.
+var ErrCellAbort error = cellAbortError{}
+
+// cellAbortError is comparable and stateless so errors.Is works naturally.
+type cellAbortError struct{}
+
+func (cellAbortError) Error() string   { return "fault: injected cell abort" }
+func (cellAbortError) Transient() bool { return true }
+
 // Plan declares the faults to inject into one run. The zero value injects
 // nothing. Probabilities are per opportunity (per attempted clock change,
 // per DAQ sample, per timer re-arm, per log record) in [0, 1].
@@ -67,6 +87,14 @@ type Plan struct {
 	TraceDelayProb float64
 	// TraceDelayMax bounds the timestamp delay; zero selects 5 ms.
 	TraceDelayMax sim.Duration
+
+	// CellAbortProb is the per-quantum probability that the whole run is
+	// killed mid-flight with ErrCellAbort — the crashed-process /
+	// lost-worker failure mode, as opposed to the degraded-measurement
+	// faults above. The decision draws from a per-attempt stream so a
+	// sweep's retry of an aborted cell faces fresh luck, while runs that
+	// complete are unaffected by arming it.
+	CellAbortProb float64
 }
 
 // Defaults for the bound fields when the matching probability is set.
@@ -85,7 +113,8 @@ func (p *Plan) Enabled() bool {
 	return p.ClockChangeFailProb > 0 || p.SettleStallProb > 0 ||
 		p.SampleDropProb > 0 || p.SampleGlitchProb > 0 ||
 		p.TimerJitterProb > 0 ||
-		p.TraceDropProb > 0 || p.TraceDelayProb > 0
+		p.TraceDropProb > 0 || p.TraceDelayProb > 0 ||
+		p.CellAbortProb > 0
 }
 
 // Validate checks every rate and bound is in range.
@@ -104,6 +133,7 @@ func (p *Plan) Validate() error {
 		{"TimerJitterProb", p.TimerJitterProb},
 		{"TraceDropProb", p.TraceDropProb},
 		{"TraceDelayProb", p.TraceDelayProb},
+		{"CellAbortProb", p.CellAbortProb},
 	}
 	for _, pr := range probs {
 		if pr.v < 0 || pr.v > 1 || pr.v != pr.v {
@@ -153,23 +183,26 @@ type Counts struct {
 	TimerJitterTime  sim.Duration
 	TraceDrops       int
 	TraceDelays      int
+	CellAborts       int
 }
 
 // Total returns the number of injected faults of every kind.
 func (c Counts) Total() int {
 	return c.ClockChangeFails + c.SettleStalls +
 		c.SamplesDropped + c.SamplesGlitched +
-		c.TimerJitters + c.TraceDrops + c.TraceDelays
+		c.TimerJitters + c.TraceDrops + c.TraceDelays +
+		c.CellAborts
 }
 
 // String summarizes the tally compactly.
 func (c Counts) String() string {
 	return fmt.Sprintf(
 		"clock fails %d, settle stalls %d (+%v), samples dropped %d glitched %d, "+
-			"timer jitters %d (+%v), trace drops %d delays %d",
+			"timer jitters %d (+%v), trace drops %d delays %d, cell aborts %d",
 		c.ClockChangeFails, c.SettleStalls, c.ExtraStallTime,
 		c.SamplesDropped, c.SamplesGlitched,
-		c.TimerJitters, c.TimerJitterTime, c.TraceDrops, c.TraceDelays)
+		c.TimerJitters, c.TimerJitterTime, c.TraceDrops, c.TraceDelays,
+		c.CellAborts)
 }
 
 // Injector executes a Plan. Every decision draws from the injector's own
@@ -179,24 +212,39 @@ func (c Counts) String() string {
 // and draws nothing, which is what keeps the no-faults configuration
 // bit-identical to a build without the fault layer.
 type Injector struct {
-	plan   Plan
-	rng    *sim.RNG
-	counts Counts
+	plan     Plan
+	rng      *sim.RNG
+	abortRNG *sim.RNG
+	counts   Counts
 }
 
 // NewInjector builds an injector for the plan under the given run seed. A
 // nil or all-zero plan yields a nil injector (inject nothing), so callers
-// can thread the result unconditionally.
+// can thread the result unconditionally. Equivalent to NewInjectorAttempt
+// with attempt 0.
 func NewInjector(p *Plan, seed uint64) (*Injector, error) {
+	return NewInjectorAttempt(p, seed, 0)
+}
+
+// NewInjectorAttempt builds an injector for a numbered retry attempt of the
+// same cell. All measurement-degrading faults stay identical across
+// attempts (same seed, same Stream), preserving bit-identical replays; only
+// the cell-abort schedule is re-drawn per attempt, so a retried cell can
+// survive where the previous attempt died.
+func NewInjectorAttempt(p *Plan, seed uint64, attempt int) (*Injector, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if attempt < 0 {
+		return nil, fmt.Errorf("fault: negative attempt %d", attempt)
 	}
 	if !p.Enabled() {
 		return nil, nil
 	}
 	return &Injector{
-		plan: p.withDefaults(),
-		rng:  sim.NewRNGStream(seed, Stream),
+		plan:     p.withDefaults(),
+		rng:      sim.NewRNGStream(seed, Stream),
+		abortRNG: sim.NewRNGStream(seed, abortStreamBase+uint64(attempt)),
 	}, nil
 }
 
@@ -294,6 +342,21 @@ func (in *Injector) DropTraceEvent() bool {
 		return false
 	}
 	in.counts.TraceDrops++
+	return true
+}
+
+// RunAborts decides whether the run dies at this quantum boundary with
+// ErrCellAbort. The draw comes from the attempt-numbered abort stream, so
+// it neither perturbs the other fault decisions nor repeats across retry
+// attempts.
+func (in *Injector) RunAborts() bool {
+	if in == nil || in.plan.CellAbortProb <= 0 {
+		return false
+	}
+	if !in.abortRNG.Bool(in.plan.CellAbortProb) {
+		return false
+	}
+	in.counts.CellAborts++
 	return true
 }
 

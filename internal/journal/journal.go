@@ -1,0 +1,256 @@
+// Package journal is the crash-safe append-only record log underneath
+// durable sweeps and the telemetry event spill. A journal file is a magic
+// header followed by length-prefixed, CRC32-checksummed records; appends go
+// through one writer that can fsync on demand, so a caller gets a real
+// write-ahead commit point, and Replay recovers exactly the prefix of
+// records that were fully written — a torn or bit-flipped tail is detected
+// by the checksum and ignored, never replayed.
+//
+// The payload is opaque bytes: the sweep layer stores JSON cell-commit
+// records, the telemetry layer stores JSON run events. The framing layer
+// guarantees only integrity and ordering.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// fileMagic opens every journal file and names the format revision; a file
+// that does not start with it is not (or no longer) a journal and replays
+// as empty.
+var fileMagic = []byte("CSWJ1\n")
+
+// MaxRecord bounds one record's payload. The bound exists so a corrupted
+// length prefix can never make Replay allocate gigabytes: any larger length
+// is treated as damage, ending the valid prefix.
+const MaxRecord = 1 << 26 // 64 MiB
+
+// recHeader is the per-record frame: a little-endian uint32 payload length
+// followed by the little-endian CRC32 (IEEE) of the payload.
+const recHeader = 8
+
+// ErrClosed is returned by appends to a closed writer.
+var ErrClosed = errors.New("journal: writer closed")
+
+// ReplayStats summarizes one journal scan.
+type ReplayStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// ValidBytes is the byte length of the valid prefix — header plus every
+	// intact record. Open truncates a resumed journal to this offset.
+	ValidBytes int64
+	// Torn reports that damage was found past the valid prefix: a missing
+	// or wrong magic header, a truncated frame, an oversized length, or a
+	// checksum mismatch. Damage is not an error — it is exactly what a
+	// crash mid-append leaves behind — but callers may want to count it.
+	Torn bool
+}
+
+// Replay scans r from the start and calls fn with each intact record's
+// payload in append order. Scanning stops at the first sign of damage —
+// after which no record is trusted — and reports what was recovered. The
+// only error Replay itself returns is fn's: a failed callback aborts the
+// scan with that error. The payload slice is reused; fn must copy it to
+// retain it.
+func Replay(r io.Reader, fn func(payload []byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	br := bufio.NewReader(r)
+
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		// Empty file: a journal that never got its header (or never
+		// existed). Anything shorter than the magic is a torn header.
+		if err == io.EOF {
+			return stats, nil
+		}
+		stats.Torn = true
+		return stats, nil
+	}
+	if string(magic) != string(fileMagic) {
+		stats.Torn = true
+		return stats, nil
+	}
+	stats.ValidBytes = int64(len(fileMagic))
+
+	var hdr [recHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			stats.Torn = err != io.EOF
+			return stats, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > MaxRecord {
+			stats.Torn = true
+			return stats, nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			stats.Torn = true
+			return stats, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			stats.Torn = true
+			return stats, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return stats, err
+			}
+		}
+		stats.Records++
+		stats.ValidBytes += recHeader + int64(n)
+	}
+}
+
+// ReplayFile replays the journal at path; a missing file replays as empty.
+func ReplayFile(path string, fn func(payload []byte) error) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ReplayStats{}, nil
+		}
+		return ReplayStats{}, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return Replay(f, fn)
+}
+
+// Writer appends records to one journal file. It is safe for concurrent
+// use. Appends are buffered; Sync flushes the buffer and fsyncs the file,
+// making everything appended so far the durable commit point.
+type Writer struct {
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	err error // first write failure; sticky, so a bad disk fails loudly once
+}
+
+// Create opens a fresh journal at path, truncating anything already there,
+// and writes the format header.
+func Create(path string) (*Writer, error) {
+	w, _, err := Open(path, false, nil)
+	return w, err
+}
+
+// Open opens the journal at path for appending.
+//
+// With resume false the file is truncated and re-headed: a fresh log.
+//
+// With resume true the existing file (if any) is replayed through fn —
+// exactly like Replay — the torn tail past the valid prefix is truncated
+// away, and subsequent appends extend the recovered log. A fn error aborts
+// the open. fn may be nil to resume without observing the old records.
+func Open(path string, resume bool, fn func(payload []byte) error) (*Writer, ReplayStats, error) {
+	var stats ReplayStats
+	if resume {
+		var err error
+		stats, err = ReplayFile(path, fn)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("journal: %w", err)
+	}
+	if stats.ValidBytes == 0 {
+		// Fresh log (or a file so damaged nothing was recoverable): start
+		// over with a clean header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("journal: %w", err)
+		}
+		if _, err := f.WriteAt(fileMagic, 0); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("journal: %w", err)
+		}
+		stats.ValidBytes = int64(len(fileMagic))
+	} else if err := f.Truncate(stats.ValidBytes); err != nil {
+		// Drop the torn tail so the next append starts at a record
+		// boundary; leaving it would corrupt the first new record.
+		f.Close()
+		return nil, stats, fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(stats.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f)}, stats, nil
+}
+
+// Append frames and buffers one record. The record is not durable until
+// Sync (or Close) returns.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file: the write-ahead
+// commit. Everything appended before a successful Sync survives process
+// death and power loss.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Close syncs and closes the file. Further appends return ErrClosed.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == ErrClosed {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.err = ErrClosed
+	return err
+}

@@ -1,0 +1,292 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays the file at path and returns copies of every payload.
+func collect(t *testing.T, path string) ([][]byte, ReplayStats) {
+	t.Helper()
+	var got [][]byte
+	stats, err := ReplayFile(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayFile: %v", err)
+	}
+	return got, stats
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	want := [][]byte{[]byte("alpha"), {}, []byte("gamma with\x00binary"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range want {
+		if err := w.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+
+	got, stats := collect(t, path)
+	if stats.Torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if stats.Records != len(want) {
+		t.Fatalf("Records = %d, want %d", stats.Records, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != stats.ValidBytes {
+		t.Fatalf("file size %d != ValidBytes %d", fi.Size(), stats.ValidBytes)
+	}
+}
+
+func TestEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+
+	stats, err := ReplayFile(filepath.Join(dir, "nope.wal"), nil)
+	if err != nil || stats.Records != 0 || stats.Torn {
+		t.Fatalf("missing file: stats=%+v err=%v", stats, err)
+	}
+
+	empty := filepath.Join(dir, "empty.wal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = ReplayFile(empty, func([]byte) error { t.Fatal("fn called"); return nil })
+	if err != nil || stats.Records != 0 || stats.Torn {
+		t.Fatalf("empty file: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestResumeAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed [][]byte
+	w, stats, err := Open(path, true, func(p []byte) error {
+		replayed = append(replayed, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open resume: %v", err)
+	}
+	if stats.Records != 1 || stats.Torn {
+		t.Fatalf("resume stats = %+v", stats)
+	}
+	if len(replayed) != 1 || string(replayed[0]) != "one" {
+		t.Fatalf("replayed = %q", replayed)
+	}
+	if err := w.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats := collect(t, path)
+	if stats.Torn || len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("after resume-append: got=%q stats=%+v", got, stats)
+	}
+}
+
+func TestTornTailTruncatedOnResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop the last record in half.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, stats, err := Open(path, true, nil)
+	if err != nil {
+		t.Fatalf("Open resume over torn tail: %v", err)
+	}
+	if !stats.Torn || stats.Records != 2 {
+		t.Fatalf("resume stats = %+v, want Torn with 2 records", stats)
+	}
+	if err := w.Append([]byte("rec-2-retry")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats := collect(t, path)
+	if stats.Torn {
+		t.Fatalf("journal still torn after resume truncation: %+v", stats)
+	}
+	want := []string{"rec-0", "rec-1", "rec-2-retry"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i, s := range want {
+		if string(got[i]) != s {
+			t.Fatalf("record %d = %q, want %q", i, got[i], s)
+		}
+	}
+}
+
+func TestBadMagicStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, stats, err := Open(path, true, func([]byte) error { t.Fatal("fn called"); return nil })
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !stats.Torn || stats.Records != 0 {
+		t.Fatalf("stats = %+v, want torn, 0 records", stats)
+	}
+	if err := w.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, path)
+	if stats.Torn || len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("after fresh restart: got=%q stats=%+v", got, stats)
+	}
+}
+
+func TestOversizeLengthIsTorn(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic)
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxRecord+1)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0)
+	buf.Write(hdr[:])
+	buf.Write(bytes.Repeat([]byte{0xFF}, 64)) // garbage "payload"
+
+	stats, err := Replay(&buf, func([]byte) error { t.Fatal("fn called"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Torn || stats.Records != 0 {
+		t.Fatalf("stats = %+v, want torn with 0 records", stats)
+	}
+}
+
+func TestChecksumMismatchIsTorn(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic)
+	payload := []byte("good record")
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	// Second record with a corrupted byte.
+	bad := []byte("evil record")
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(bad)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(bad))
+	buf.Write(hdr[:])
+	bad[3] ^= 0x40
+	buf.Write(bad)
+
+	var got [][]byte
+	stats, err := Replay(&buf, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Torn || stats.Records != 1 || len(got) != 1 || string(got[0]) != "good record" {
+		t.Fatalf("stats=%+v got=%q, want 1 good record then torn", stats, got)
+	}
+}
+
+func TestFnErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]byte("a"))
+	w.Append([]byte("b"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("stop here")
+	_, err = ReplayFile(path, func([]byte) error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	big := make([]byte, MaxRecord+1)
+	if err := w.Append(big); err == nil {
+		t.Fatal("Append of oversize record succeeded")
+	}
+	// The oversize rejection must not poison the writer.
+	if err := w.Append([]byte("small")); err != nil {
+		t.Fatalf("Append after oversize rejection: %v", err)
+	}
+}

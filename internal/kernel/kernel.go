@@ -397,6 +397,10 @@ func (k *Kernel) tick(now sim.Time) {
 			return
 		}
 	}
+	if k.cfg.Faults.RunAborts() {
+		k.fail(fmt.Errorf("fault injection at quantum boundary: %w", fault.ErrCellAbort))
+		return
+	}
 	k.account(now)
 
 	// Charge the forced-rescheduling overhead as busy time.

@@ -86,6 +86,12 @@ func OptSpeeds(util []float64, minSpeed float64) ([]float64, error) {
 		if slope < minSpeed {
 			slope = minSpeed
 		}
+		// The true slope never exceeds 1 (util is per-quantum work in
+		// [0,1]), but the cumulative-sum arithmetic can overshoot by an
+		// ulp, and downstream validation rejects speeds above 1.
+		if slope > 1 {
+			slope = 1
+		}
 		for i := a.x; i < b.x; i++ {
 			out[i] = slope
 		}

@@ -29,6 +29,7 @@ type CacheStats struct {
 	Hits     int // served from memory or disk
 	DiskHits int // subset of Hits that came off disk
 	Misses   int
+	Corrupt  int   // disk entries that failed to decode and were deleted
 	Entries  int   // live in-memory entries
 	Bytes    int64 // encoded bytes held in memory
 }
@@ -52,8 +53,8 @@ type Cache struct {
 
 // cacheTel bundles the cache's pre-resolved telemetry instruments.
 type cacheTel struct {
-	hits, misses, diskHits         *telemetry.Counter
-	getHit, getMiss, getDisk, putH *telemetry.Histogram
+	hits, misses, diskHits, corrupt *telemetry.Counter
+	getHit, getMiss, getDisk, putH  *telemetry.Histogram
 }
 
 // Instrument attaches cache-traffic counters and Get/Put latency histograms
@@ -71,6 +72,7 @@ func (c *Cache) Instrument(reg *telemetry.Registry) {
 		hits:     reg.Counter(telemetry.MCacheHits),
 		misses:   reg.Counter(telemetry.MCacheMisses),
 		diskHits: reg.Counter(telemetry.MCacheDiskHits),
+		corrupt:  reg.Counter(telemetry.MCacheCorrupt),
 		getHit:   reg.Histogram(telemetry.MCacheGetHitSecs, telemetry.SecondsBuckets),
 		getMiss:  reg.Histogram(telemetry.MCacheGetMissSecs, telemetry.SecondsBuckets),
 		getDisk:  reg.Histogram(telemetry.MCacheGetDiskSecs, telemetry.SecondsBuckets),
@@ -117,6 +119,14 @@ func NewCache(maxEntries int, dir string, codec Codec) (*Cache, error) {
 // memory. The decoded value, a hit flag, and any decode error are returned;
 // a missing entry is (nil, false, nil).
 func (c *Cache) Get(key string) (any, bool, error) {
+	v, _, ok, err := c.GetWithBytes(key)
+	return v, ok, err
+}
+
+// GetWithBytes is Get, additionally returning the entry's encoded bytes on
+// a hit — the representation the journal layer hashes to verify a replayed
+// cell. The bytes are the cache's own copy and must not be mutated.
+func (c *Cache) GetWithBytes(key string) (any, []byte, bool, error) {
 	tel := c.tel.Load()
 	var t0 time.Time
 	if tel != nil {
@@ -130,13 +140,13 @@ func (c *Cache) Get(key string) (any, bool, error) {
 		c.mu.Unlock()
 		v, err := c.codec.Decode(b)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		if tel != nil {
 			tel.hits.Inc()
 			tel.getHit.ObserveSince(t0)
 		}
-		return v, true, nil
+		return v, b, true, nil
 	}
 	c.mu.Unlock()
 
@@ -151,10 +161,19 @@ func (c *Cache) Get(key string) (any, bool, error) {
 					tel.diskHits.Inc()
 					tel.getDisk.ObserveSince(t0)
 				}
-				return v, true, nil
+				return v, b, true, nil
 			}
-			// A corrupt or stale-format file is a miss; the fresh run
-			// will overwrite it.
+			// A corrupt or truncated entry file (a crashed writer that
+			// predates the atomic rename, a partial copy, bit rot) is
+			// quarantined: delete it so it cannot shadow the fresh result,
+			// count it, and report a plain miss — the cell just re-runs.
+			_ = os.Remove(c.path(key))
+			c.mu.Lock()
+			c.stats.Corrupt++
+			c.mu.Unlock()
+			if tel != nil {
+				tel.corrupt.Inc()
+			}
 		}
 	}
 
@@ -165,44 +184,51 @@ func (c *Cache) Get(key string) (any, bool, error) {
 		tel.misses.Inc()
 		tel.getMiss.ObserveSince(t0)
 	}
-	return nil, false, nil
+	return nil, nil, false, nil
 }
 
 // Put encodes v and stores it under key, in memory and (when configured) on
 // disk.
 func (c *Cache) Put(key string, v any) error {
+	_, err := c.PutEncoded(key, v)
+	return err
+}
+
+// PutEncoded is Put, additionally returning the encoded bytes it stored —
+// what the journal layer hashes when committing the cell.
+func (c *Cache) PutEncoded(key string, v any) ([]byte, error) {
 	if tel := c.tel.Load(); tel != nil {
 		defer tel.putH.ObserveSince(time.Now())
 	}
 	b, err := c.codec.Encode(v)
 	if err != nil {
-		return fmt.Errorf("sweep: encoding cache entry: %w", err)
+		return nil, fmt.Errorf("sweep: encoding cache entry: %w", err)
 	}
 	c.insert(key, b, false)
 	if c.dir == "" {
-		return nil
+		return b, nil
 	}
 	// Atomic write: a crashed or concurrent writer never leaves a torn
 	// file for Get to misread.
 	path := c.path(key)
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("sweep: cache write: %w", err)
+		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("sweep: cache write: %w", err)
+		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("sweep: cache write: %w", err)
+		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("sweep: cache write: %w", err)
+		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}
-	return nil
+	return b, nil
 }
 
 // Stats returns a snapshot of the traffic counters.

@@ -1,0 +1,358 @@
+package sweep
+
+// Durability layer: the cell journal that makes an interrupted sweep
+// resumable, per-cell retry with seeded exponential backoff, and the
+// transient-error classification that decides what is worth retrying.
+//
+// The invariants, in order of trust:
+//
+//   - The journal is the commit point. A cell is "completed" iff a journal
+//     record holding its cache key and the sha256 of its encoded result
+//     bytes has been fsynced. The record is written only after the cache
+//     write, so a committed cell always had its bytes on disk at commit
+//     time.
+//   - The cache is verified, never trusted. On resume a journalled cell is
+//     replayed only if the cache still produces bytes whose hash matches
+//     the journal record; any mismatch (evicted file, corrupt entry, codec
+//     drift) silently re-runs the cell. Since every run is a deterministic
+//     simulation, a re-run reproduces the identical bytes — resume
+//     correctness never depends on cache durability.
+//   - Backoff is seeded. Retry delays derive from (seed, cell index,
+//     attempt), not from a global RNG or the clock, so a sweep's retry
+//     schedule is reproducible regardless of worker interleaving.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clocksched/internal/journal"
+	"clocksched/internal/sim"
+	"clocksched/internal/telemetry"
+)
+
+// attemptKey carries the zero-based retry attempt through the context into
+// the cell closure, so a deterministic simulation can salt its
+// fault-injection streams per attempt — giving each retry an independent
+// abort schedule while leaving the successful run bit-identical.
+type attemptKey struct{}
+
+// WithAttempt returns ctx annotated with the cell's zero-based attempt
+// number.
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// AttemptFromContext reports the cell's zero-based attempt number, zero if
+// the context carries none (a first attempt, or a run outside the sweep).
+func AttemptFromContext(ctx context.Context) int {
+	n, _ := ctx.Value(attemptKey{}).(int)
+	return n
+}
+
+// IsTransient reports whether err declares itself retryable by exposing a
+// `Transient() bool` method anywhere in its chain. The sweep engine retries
+// only transient failures: a deterministic simulation that failed on bad
+// input will fail identically forever, but an injected fault or a flaky
+// external dependency may clear on the next attempt.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// RetryPolicy bounds and paces per-cell retries of transient failures.
+type RetryPolicy struct {
+	// Max is the retry budget: a cell runs at most 1+Max times. Zero
+	// disables retries.
+	Max int
+	// Base is the first backoff delay; non-positive selects 100ms. The
+	// delay doubles per attempt.
+	Base time.Duration
+	// Cap bounds the grown delay; non-positive selects 5s.
+	Cap time.Duration
+	// Seed keys the jitter stream. The same (Seed, cell, attempt) triple
+	// always yields the same delay.
+	Seed uint64
+}
+
+// retryDefaults returns the policy with zero fields resolved.
+func (p RetryPolicy) retryDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry number attempt (zero-based) of
+// the given cell: exponential growth clamped at Cap, jittered into
+// [d/2, d] by a stream keyed on (Seed, cell, attempt) so the schedule is
+// deterministic however workers interleave.
+func (p RetryPolicy) delay(cell, attempt int) time.Duration {
+	p = p.retryDefaults()
+	d := p.Cap
+	// Grow by doubling, watching for overflow past the cap.
+	if shift := uint(attempt); shift < 62 && p.Base<<shift > 0 && p.Base<<shift < p.Cap {
+		d = p.Base << shift
+	}
+	rng := sim.NewRNGStream(p.Seed^(uint64(cell)*0x9e3779b97f4a7c15+0xd1b54a32d192ed03), uint64(attempt))
+	half := d / 2
+	return half + time.Duration(rng.Uint64()%uint64(half+1))
+}
+
+// cellRecord is one journal entry: a completed cell's cache key and the
+// sha256 of its encoded result bytes.
+type cellRecord struct {
+	K string `json:"k"`
+	H string `json:"h"`
+}
+
+// hashBytes returns the journal's content hash of encoded result bytes.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// CellJournal is the sweep's write-ahead completion log: one fsynced record
+// per completed cell. Opening it with resume recovers the completed-cell
+// set from a previous (possibly killed) process so Run can replay those
+// cells from the cache instead of re-simulating them. A nil *CellJournal is
+// the disabled layer; all methods are no-ops.
+type CellJournal struct {
+	mu        sync.Mutex
+	w         *journal.Writer
+	done      map[string]string // cache key → result hash
+	recovered int               // records recovered at open
+	torn      bool              // open found (and truncated) a torn tail
+
+	tel atomic.Pointer[journalTel]
+}
+
+// journalTel bundles the journal's pre-resolved instruments.
+type journalTel struct {
+	commits, errs *telemetry.Counter
+}
+
+// OpenCellJournal opens (resume=false: truncates) the cell journal at path.
+// With resume, previously committed records are recovered — a torn tail
+// from a crash mid-append is dropped, never misread — and Recovered/Torn
+// report what was found. A record that passes the framing checksum but is
+// not a valid cell record means the file is some other journal (or a format
+// break) and fails the open rather than silently resuming wrong.
+func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
+	done := map[string]string{}
+	w, stats, err := journal.Open(path, resume, func(p []byte) error {
+		var rec cellRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("sweep: journal %s: bad cell record: %w", path, err)
+		}
+		if rec.K == "" || rec.H == "" {
+			return fmt.Errorf("sweep: journal %s: cell record missing key or hash", path)
+		}
+		done[rec.K] = rec.H
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CellJournal{w: w, done: done, recovered: len(done), torn: stats.Torn}, nil
+}
+
+// Instrument attaches commit/error counters and publishes the recovery
+// gauges (records recovered, torn-tail flag) to the registry. Safe to call
+// once per Run on a shared journal: counters accumulate, gauges are
+// idempotent. A nil registry detaches; a nil journal is a no-op.
+func (jr *CellJournal) Instrument(reg *telemetry.Registry) {
+	if jr == nil {
+		return
+	}
+	if reg == nil {
+		jr.tel.Store(nil)
+		return
+	}
+	jr.tel.Store(&journalTel{
+		commits: reg.Counter(telemetry.MJournalCommits),
+		errs:    reg.Counter(telemetry.MJournalErrors),
+	})
+	jr.mu.Lock()
+	recovered, torn := jr.recovered, jr.torn
+	jr.mu.Unlock()
+	reg.Gauge(telemetry.MJournalRecovered).Set(float64(recovered))
+	tornV := 0.0
+	if torn {
+		tornV = 1
+	}
+	reg.Gauge(telemetry.MJournalTornTail).Set(tornV)
+}
+
+// Recovered reports how many completed-cell records the open replayed.
+func (jr *CellJournal) Recovered() int {
+	if jr == nil {
+		return 0
+	}
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	return jr.recovered
+}
+
+// Torn reports whether the open found (and truncated) a damaged tail.
+func (jr *CellJournal) Torn() bool {
+	if jr == nil {
+		return false
+	}
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	return jr.torn
+}
+
+// Completed reports the recorded result hash for a cache key, if the cell
+// has been committed (in this process or a resumed one).
+func (jr *CellJournal) Completed(key string) (hash string, ok bool) {
+	if jr == nil || key == "" {
+		return "", false
+	}
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	h, ok := jr.done[key]
+	return h, ok
+}
+
+// Commit durably records the cell: the key/hash record is appended and
+// fsynced before Commit returns, making this the moment the cell survives a
+// crash. Re-committing an identical record is a no-op. A failed commit
+// degrades durability, not the sweep — the caller counts it and carries on.
+func (jr *CellJournal) Commit(key string, enc []byte) error {
+	if jr == nil || key == "" {
+		return nil
+	}
+	h := hashBytes(enc)
+	jr.mu.Lock()
+	if prev, ok := jr.done[key]; ok && prev == h {
+		jr.mu.Unlock()
+		return nil
+	}
+	jr.done[key] = h
+	jr.mu.Unlock()
+
+	var commits, errsC *telemetry.Counter
+	if t := jr.tel.Load(); t != nil {
+		commits, errsC = t.commits, t.errs
+	}
+	rec, err := json.Marshal(cellRecord{K: key, H: h})
+	if err == nil {
+		if err = jr.w.Append(rec); err == nil {
+			err = jr.w.Sync()
+		}
+	}
+	if err != nil {
+		errsC.Inc()
+		return err
+	}
+	commits.Inc()
+	return nil
+}
+
+// Close syncs and closes the underlying journal file.
+func (jr *CellJournal) Close() error {
+	if jr == nil {
+		return nil
+	}
+	return jr.w.Close()
+}
+
+// cellRunner is the per-sweep execution environment for one cell: cache,
+// journal, deadline budget, retry policy, and the pre-resolved instruments.
+type cellRunner struct {
+	cache       *Cache
+	journal     *CellJournal
+	timeout     time.Duration
+	retry       RetryPolicy
+	telRetries  *telemetry.Counter
+	telDeadline *telemetry.Counter
+}
+
+// run executes cell i: journal replay, cache lookup, then the retry loop.
+// Cache and journal failures are swallowed — durability accelerates and
+// protects, it never gates a result.
+func (cr *cellRunner) run(ctx context.Context, i int, j Job) Outcome {
+	if err := ctx.Err(); err != nil {
+		return Outcome{Err: err}
+	}
+
+	// Journal replay: the journal proves the cell completed in a previous
+	// run; the cache must still produce bytes with the committed hash to be
+	// believed. A mismatch — evicted entry, corruption, codec drift — falls
+	// through to an ordinary re-run, which reproduces the same result.
+	if h, ok := cr.journal.Completed(j.Key); ok && cr.cache != nil && j.Key != "" {
+		if v, enc, hit, err := cr.cache.GetWithBytes(j.Key); err == nil && hit && hashBytes(enc) == h {
+			return Outcome{Value: v, Cached: true, Replayed: true}
+		}
+	}
+
+	if cr.cache != nil && j.Key != "" {
+		if v, enc, hit, err := cr.cache.GetWithBytes(j.Key); err == nil && hit {
+			// A plain cache hit also completes the cell; journal it so a
+			// later resume replays instead of depending on cache policy.
+			_ = cr.journal.Commit(j.Key, enc)
+			return Outcome{Value: v, Cached: true}
+		}
+	}
+
+	attempts := 0
+	for {
+		attempts++
+		cellCtx := WithAttempt(ctx, attempts-1)
+		var cancel context.CancelFunc
+		if cr.timeout > 0 {
+			cellCtx, cancel = context.WithTimeout(cellCtx, cr.timeout)
+		}
+		v, err := j.Run(cellCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			if cr.cache != nil && j.Key != "" {
+				if enc, perr := cr.cache.PutEncoded(j.Key, v); perr == nil {
+					_ = cr.journal.Commit(j.Key, enc)
+				}
+			}
+			return Outcome{Value: v, Attempts: attempts}
+		}
+		// A blown per-cell deadline (with the sweep itself still healthy)
+		// is terminal, not transient: the same budget would expire the same
+		// way on every retry of a deterministic cell.
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			cr.telDeadline.Inc()
+			return Outcome{
+				Err:      fmt.Errorf("cell deadline %v exceeded after %d attempt(s): %w", cr.timeout, attempts, err),
+				Attempts: attempts,
+			}
+		}
+		if ctx.Err() != nil {
+			return Outcome{Err: err, Attempts: attempts}
+		}
+		if !IsTransient(err) {
+			return Outcome{Err: err, Attempts: attempts}
+		}
+		if attempts > cr.retry.Max {
+			return Outcome{
+				Err:      fmt.Errorf("retry budget (%d) exhausted: %w", cr.retry.Max, err),
+				Attempts: attempts,
+			}
+		}
+		cr.telRetries.Inc()
+		select {
+		case <-time.After(cr.retry.delay(i, attempts-1)):
+		case <-ctx.Done():
+			return Outcome{Err: ctx.Err(), Attempts: attempts}
+		}
+	}
+}

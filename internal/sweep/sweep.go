@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clocksched/internal/telemetry"
 )
@@ -63,6 +64,18 @@ type Options struct {
 	// Stats, when non-nil, is filled with the sweep's pool statistics
 	// before Run returns.
 	Stats *PoolStats
+	// CellTimeout, when positive, bounds each cell attempt's wall time. A
+	// cell that blows the budget fails with a wrapped
+	// context.DeadlineExceeded; deadlines are terminal, never retried.
+	CellTimeout time.Duration
+	// Retry paces re-runs of cells that fail with a transient error (see
+	// IsTransient). The zero value disables retries.
+	Retry RetryPolicy
+	// Journal, when non-nil (and combined with Cache), makes the sweep
+	// durable: completed cells are committed to the write-ahead journal and
+	// a resumed sweep replays them from the cache — hash-verified against
+	// the journal — instead of re-running them.
+	Journal *CellJournal
 }
 
 // PoolStats summarizes one sweep's worker-pool behaviour.
@@ -71,8 +84,10 @@ type PoolStats struct {
 	PeakBusy int // most cells observed running concurrently
 	Ran      int // cells executed fresh
 	Cached   int // cells served from the cache
+	Replayed int // subset of Cached committed by a previous run's journal
 	Failed   int // cells that returned an error
 	Skipped  int // cells never started (cancellation or FailFast)
+	Retries  int // extra attempts spent on transient failures
 }
 
 // Outcome is one cell's result, in grid order.
@@ -84,6 +99,14 @@ type Outcome struct {
 	Err error
 	// Cached reports that Value was served from the cache.
 	Cached bool
+	// Replayed reports that the cell was journalled complete by a previous
+	// run and served from the cache after hash verification (implies
+	// Cached).
+	Replayed bool
+	// Attempts counts how many times the cell's Run closure executed; zero
+	// for cached/replayed/skipped cells, above one when transient failures
+	// were retried.
+	Attempts int
 }
 
 // ErrSkipped marks cells that never ran because the sweep was cancelled or
@@ -122,15 +145,25 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	telPeak := tel.Gauge(telemetry.MSweepWorkersPeak)
 	telRun := tel.Counter(telemetry.MSweepCellsRun)
 	telCached := tel.Counter(telemetry.MSweepCellsCached)
+	telReplayed := tel.Counter(telemetry.MSweepCellsReplayed)
 	telFailed := tel.Counter(telemetry.MSweepCellsFailed)
 	telCell := tel.Timer(telemetry.MSweepCellSeconds)
 	opts.Cache.Instrument(tel)
+	opts.Journal.Instrument(tel)
+
+	runner := &cellRunner{
+		cache:       opts.Cache,
+		journal:     opts.Journal,
+		timeout:     opts.CellTimeout,
+		retry:       opts.Retry,
+		telRetries:  tel.Counter(telemetry.MSweepCellRetries),
+		telDeadline: tel.Counter(telemetry.MSweepCellDeadline),
+	}
 
 	var (
-		mu       sync.Mutex
-		done     int
-		firstErr error
-		ran      = make([]bool, len(jobs))
+		mu   sync.Mutex
+		done int
+		ran  = make([]bool, len(jobs))
 
 		busy, peak atomic.Int64
 	)
@@ -159,12 +192,14 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 				for p := peak.Load(); b > p && !peak.CompareAndSwap(p, b); p = peak.Load() {
 				}
 				span := telCell.Start()
-				o := runJob(runCtx, jobs[i], opts.Cache)
+				o := runner.run(runCtx, i, jobs[i])
 				span.Stop()
 				telBusy.Set(float64(busy.Add(-1)))
 				switch {
 				case o.Err != nil:
 					telFailed.Inc()
+				case o.Replayed:
+					telReplayed.Inc()
 				case o.Cached:
 					telCached.Inc()
 				default:
@@ -176,11 +211,8 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 				ran[i] = true
 				done++
 				d := done
-				if o.Err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("cell %d: %w", i, o.Err)
-					if opts.FailFast {
-						cancel()
-					}
+				if o.Err != nil && opts.FailFast {
+					cancel()
 				}
 				mu.Unlock()
 				// The callback runs outside the pool lock: a slow or
@@ -208,41 +240,50 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		switch {
 		case out[i].Err != nil:
 			stats.Failed++
+		case out[i].Replayed:
+			stats.Replayed++
+			stats.Cached++
 		case out[i].Cached:
 			stats.Cached++
 		default:
 			stats.Ran++
 		}
+		if out[i].Attempts > 1 {
+			stats.Retries += out[i].Attempts - 1
+		}
 		if out[i].Err != nil && !opts.FailFast {
 			errs = append(errs, fmt.Errorf("cell %d: %w", i, out[i].Err))
 		}
 	}
-	if opts.FailFast && firstErr != nil {
-		errs = append(errs, firstErr)
+	if opts.FailFast {
+		// Report the lowest-grid-index genuine failure, not whichever
+		// worker happened to finish first: the error is deterministic
+		// whenever the failing cell set is. Cells that died of the abort
+		// itself (cancelled or never started) are only reported when
+		// nothing better exists.
+		first := -1
+		for i := range jobs {
+			err := out[i].Err
+			if err == nil || errors.Is(err, ErrSkipped) || errors.Is(err, context.Canceled) {
+				continue
+			}
+			first = i
+			break
+		}
+		if first < 0 {
+			for i := range jobs {
+				if out[i].Err != nil && !errors.Is(out[i].Err, ErrSkipped) {
+					first = i
+					break
+				}
+			}
+		}
+		if first >= 0 {
+			errs = append(errs, fmt.Errorf("cell %d: %w", first, out[first].Err))
+		}
 	}
 	if opts.Stats != nil {
 		*opts.Stats = stats
 	}
 	return out, errors.Join(errs...)
-}
-
-// runJob executes one cell: cache lookup, run, cache fill. Cache errors are
-// swallowed — the cache accelerates, it never gates.
-func runJob(ctx context.Context, j Job, cache *Cache) Outcome {
-	if err := ctx.Err(); err != nil {
-		return Outcome{Err: err}
-	}
-	if cache != nil && j.Key != "" {
-		if v, ok, err := cache.Get(j.Key); err == nil && ok {
-			return Outcome{Value: v, Cached: true}
-		}
-	}
-	v, err := j.Run(ctx)
-	if err != nil {
-		return Outcome{Err: err}
-	}
-	if cache != nil && j.Key != "" {
-		_ = cache.Put(j.Key, v)
-	}
-	return Outcome{Value: v}
 }

@@ -368,8 +368,28 @@ func TestCacheCorruptDiskEntryIsAMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := telemetry.New()
+	cold.Instrument(reg)
 	if _, ok, err := cold.Get("k"); ok || err != nil {
 		t.Fatalf("corrupt entry: ok=%v err=%v", ok, err)
+	}
+	// The corrupt file is quarantined — deleted so it cannot shadow a fresh
+	// result — and counted, both in the stats and on the registry.
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry file survived quarantine: %v", err)
+	}
+	if s := cold.Stats(); s.Corrupt != 1 || s.Misses != 1 {
+		t.Errorf("stats %+v, want 1 corrupt + 1 miss", s)
+	}
+	if got := reg.Snapshot().Counters[telemetry.MCacheCorrupt]; got != 1 {
+		t.Errorf("%s = %v, want 1", telemetry.MCacheCorrupt, got)
+	}
+	// After quarantine the key re-Puts cleanly and reads back.
+	if err := cold.Put("k", 8); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cold.Get("k"); err != nil || !ok || v.(int) != 8 {
+		t.Fatalf("post-quarantine readback: %v/%v/%v", v, ok, err)
 	}
 }
 

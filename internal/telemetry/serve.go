@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -70,5 +71,13 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound listen address, e.g. "127.0.0.1:43115".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and its listener.
+// Close stops the server and its listener immediately, dropping in-flight
+// requests. Prefer Shutdown for an orderly exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener closes at once so no
+// new scrapes are accepted, while in-flight requests (a /metrics scrape, a
+// pprof profile) run to completion or until ctx expires, whichever comes
+// first. On ctx expiry the remaining connections are dropped and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

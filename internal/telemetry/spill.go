@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clocksched/internal/journal"
+)
+
+// SpillEvents attaches a journal writer to the registry's event stream: from
+// this call on, every Emit also appends the event — JSON-encoded — to the
+// writer, so the in-memory ring's EventCap bound stops being a retention
+// limit and a multi-hour sweep keeps a complete on-disk event log for
+// post-mortems. Events are buffered in the writer, not fsynced per emit;
+// the caller owns the writer's Sync/Close cadence. A nil writer detaches
+// the spill.
+//
+// Spill traffic is counted on MEventsSpilled and failures (a full disk,
+// say) on MEventSpillErrors; a failed spill never blocks or drops the
+// in-memory event.
+func (r *Registry) SpillEvents(w *journal.Writer) {
+	if r == nil {
+		return
+	}
+	// Resolve the counters before taking mu — Counter locks it too, and
+	// Emit appends to the spill while holding it.
+	spilled := r.Counter(MEventsSpilled)
+	errs := r.Counter(MEventSpillErrors)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spill = w
+	r.spilled = spilled
+	r.spillErrs = errs
+}
+
+// spillLocked appends one event to the spill journal. Caller holds r.mu.
+func (r *Registry) spillLocked(e Event) {
+	if r.spill == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err == nil {
+		err = r.spill.Append(b)
+	}
+	if err != nil {
+		r.spillErrs.Inc()
+		return
+	}
+	r.spilled.Inc()
+}
+
+// ReadSpill replays a spilled event log from disk, oldest first. A torn
+// tail (from a crash mid-write) is silently ignored, exactly like a sweep
+// journal; a record that frames correctly but does not decode as an Event
+// is reported as an error, since the framing layer's checksum rules out
+// silent corruption.
+func ReadSpill(path string) ([]Event, error) {
+	var out []Event
+	_, err := journal.ReplayFile(path, func(p []byte) error {
+		var e Event
+		if err := json.Unmarshal(p, &e); err != nil {
+			return fmt.Errorf("telemetry: spill record %d: %w", len(out), err)
+		}
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

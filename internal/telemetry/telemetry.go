@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"clocksched/internal/journal"
 )
 
 // Canonical metric names. Instrumentation sites and the pre-registration
@@ -53,15 +55,26 @@ const (
 	MWatchdogMissStreak  = `policy_watchdog_trips_total{kind="missstreak"}`
 	MWatchdogSafeMode    = "policy_watchdog_safe_mode"
 	// internal/sweep
-	MSweepWorkersBusy = "sweep_workers_busy"
-	MSweepWorkersPeak = "sweep_workers_busy_peak"
-	MSweepCellsRun    = `sweep_cells_total{result="run"}`
-	MSweepCellsCached = `sweep_cells_total{result="cached"}`
-	MSweepCellsFailed = `sweep_cells_total{result="failed"}`
-	MSweepCellSeconds = "sweep_cell_seconds"
-	MCacheHits        = "sweep_cache_hits_total"
-	MCacheMisses      = "sweep_cache_misses_total"
-	MCacheDiskHits    = "sweep_cache_disk_hits_total"
+	MSweepWorkersBusy   = "sweep_workers_busy"
+	MSweepWorkersPeak   = "sweep_workers_busy_peak"
+	MSweepCellsRun      = `sweep_cells_total{result="run"}`
+	MSweepCellsCached   = `sweep_cells_total{result="cached"}`
+	MSweepCellsFailed   = `sweep_cells_total{result="failed"}`
+	MSweepCellsReplayed = `sweep_cells_total{result="replayed"}`
+	MSweepCellSeconds   = "sweep_cell_seconds"
+	MSweepCellRetries   = "sweep_cell_retries_total"
+	MSweepCellDeadline  = "sweep_cell_deadline_total"
+	MCacheHits          = "sweep_cache_hits_total"
+	MCacheMisses        = "sweep_cache_misses_total"
+	MCacheDiskHits      = "sweep_cache_disk_hits_total"
+	MCacheCorrupt       = "sweep_cache_corrupt_total"
+	MJournalCommits     = "sweep_journal_commits_total"
+	MJournalErrors      = "sweep_journal_errors_total"
+	MJournalRecovered   = "sweep_journal_recovered_cells"
+	MJournalTornTail    = "sweep_journal_torn_tail"
+	// event spill (spill.go)
+	MEventsSpilled    = "telemetry_events_spilled_total"
+	MEventSpillErrors = "telemetry_event_spill_errors_total"
 	MCacheGetHitSecs  = `sweep_cache_get_seconds{result="hit"}`
 	MCacheGetMissSecs = `sweep_cache_get_seconds{result="miss"}`
 	MCacheGetDiskSecs = `sweep_cache_get_seconds{result="disk"}`
@@ -306,6 +319,12 @@ type Registry struct {
 	events []Event // ring, capacity EventCap
 	head   int     // index of the oldest event once the ring wrapped
 	full   bool
+
+	// Optional spill-to-disk event log (spill.go). The counters are
+	// resolved in SpillEvents — never inside Emit, which already holds mu.
+	spill     *journal.Writer
+	spilled   *Counter
+	spillErrs *Counter
 }
 
 // New creates an empty registry.
@@ -386,6 +405,7 @@ func (r *Registry) Emit(name string, fields ...Field) {
 	defer r.mu.Unlock()
 	r.seq++
 	e := Event{Seq: r.seq, Wall: time.Now(), Name: name, Fields: fields}
+	r.spillLocked(e)
 	if len(r.events) < EventCap {
 		r.events = append(r.events, e)
 		return

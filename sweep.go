@@ -62,6 +62,33 @@ type SweepConfig struct {
 	// every cell's simulation stack. Purely observational: cell results and
 	// cache keys are unaffected.
 	Telemetry *Telemetry
+
+	// Journal, when non-empty, is the path of the sweep's crash-safe
+	// write-ahead journal. Each completed cell is durably committed (key +
+	// result hash, fsynced) the moment it finishes, so a sweep killed
+	// mid-run can be relaunched with Resume and replay the committed cells
+	// from the disk cache instead of re-simulating them. Requires Cache —
+	// the journal records hashes; the cache holds the bytes.
+	Journal string
+	// Resume replays a previous run's Journal instead of truncating it.
+	// Cells whose journal hash matches the cached bytes are served without
+	// re-simulation; everything else (including a torn journal tail from
+	// the crash) re-runs, so the final SweepResult is byte-identical to an
+	// uninterrupted sweep.
+	Resume bool
+	// CellTimeout, when positive, bounds each cell attempt's wall time.
+	// The deadline is enforced at the simulation's quantum boundaries via
+	// context cancellation; a cell that blows it fails with a wrapped
+	// context.DeadlineExceeded and is not retried.
+	CellTimeout time.Duration
+	// Retries is the per-cell retry budget for transient failures —
+	// injected cell aborts, or any error exposing Transient() bool — with
+	// seeded exponential backoff. Zero disables retries; non-transient
+	// failures are never retried.
+	Retries int
+	// RetryBase is the first backoff delay, doubling per attempt (jittered,
+	// capped at 5s); zero selects 100ms.
+	RetryBase time.Duration
 }
 
 // SweepCell is one completed cell of a sweep.
@@ -76,6 +103,14 @@ type SweepCell struct {
 	// Cached reports that Result was served from the cache rather than
 	// simulated.
 	Cached bool
+	// Replayed reports that the cell was committed by a previous
+	// (interrupted) run's journal and served from the cache after hash
+	// verification; implies Cached.
+	Replayed bool
+	// Attempts counts how many times the cell actually simulated: zero for
+	// cached/replayed/skipped cells, more than one when transient failures
+	// were retried.
+	Attempts int
 }
 
 // SweepResult holds every cell of a completed sweep in grid order.
@@ -104,6 +139,11 @@ type SweepTelemetry struct {
 	Cached  int
 	Failed  int
 	Skipped int
+	// Replayed is the subset of Cached committed by a previous run's
+	// journal — the cells a resumed sweep did not have to re-simulate.
+	Replayed int
+	// Retried counts extra attempts spent re-running transient failures.
+	Retried int
 }
 
 // CellAt returns the cell at the given axis indices of an axis-built
@@ -113,6 +153,54 @@ func (r *SweepResult) CellAt(wi, pi, si int) *SweepCell {
 		return nil
 	}
 	return &r.Cells[(wi*r.np+pi)*r.ns+si]
+}
+
+// SweepCellError is one failed cell of a completed sweep, as reported by
+// SweepResult.Errors.
+type SweepCellError struct {
+	// Index is the cell's grid position.
+	Index int
+	// Workload, Policy, and Seed identify the cell's configuration.
+	Workload string
+	Policy   string
+	Seed     uint64
+	// Attempts counts how many times the cell simulated before giving up.
+	Attempts int
+	// TimedOut marks a blown per-cell deadline budget.
+	TimedOut bool
+	// Transient marks a failure the retry layer classified as retryable —
+	// the retry budget was exhausted without a success.
+	Transient bool
+	// Skipped marks a cell that never ran (fail-fast abort or context
+	// cancellation).
+	Skipped bool
+	// Err is the cell's error.
+	Err error
+}
+
+// Errors reports every failed cell in grid order — deterministic however
+// the workers interleaved — classifying each failure so callers can triage
+// a partial sweep (retry-exhausted vs timed out vs skipped) without string
+// matching. An all-green sweep returns nil.
+func (r *SweepResult) Errors() []SweepCellError {
+	var out []SweepCellError
+	for i, c := range r.Cells {
+		if c.Err == nil {
+			continue
+		}
+		out = append(out, SweepCellError{
+			Index:     i,
+			Workload:  string(c.Config.Workload),
+			Policy:    c.Config.Policy.Name(),
+			Seed:      c.Config.Seed,
+			Attempts:  c.Attempts,
+			TimedOut:  errors.Is(c.Err, context.DeadlineExceeded),
+			Transient: sweep.IsTransient(c.Err),
+			Skipped:   errors.Is(c.Err, sweep.ErrSkipped),
+			Err:       c.Err,
+		})
+	}
+	return out
 }
 
 // SweepStats aggregates a sweep's outcome.
@@ -219,8 +307,33 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 				i, c.withDefaults().Workload, c.withDefaults().Policy.Name(), err))
 		}
 	}
+	if cfg.Journal != "" && cfg.Cache == nil {
+		verrs = append(verrs, fmt.Errorf("clocksched: Journal requires Cache — the journal records result hashes, the cache holds the bytes"))
+	}
+	if cfg.Resume && cfg.Journal == "" {
+		verrs = append(verrs, fmt.Errorf("clocksched: Resume requires Journal"))
+	}
+	if cfg.CellTimeout < 0 {
+		verrs = append(verrs, fmt.Errorf("clocksched: negative CellTimeout %v", cfg.CellTimeout))
+	}
+	if cfg.Retries < 0 {
+		verrs = append(verrs, fmt.Errorf("clocksched: negative Retries %d", cfg.Retries))
+	}
+	if cfg.RetryBase < 0 {
+		verrs = append(verrs, fmt.Errorf("clocksched: negative RetryBase %v", cfg.RetryBase))
+	}
 	if err := errors.Join(verrs...); err != nil {
 		return nil, err
+	}
+
+	var jr *sweep.CellJournal
+	if cfg.Journal != "" {
+		var err error
+		jr, err = sweep.OpenCellJournal(cfg.Journal, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer jr.Close()
 	}
 
 	jobs := make([]sweep.Job, len(cells))
@@ -246,12 +359,15 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	}
 	var pstats sweep.PoolStats
 	outs, err := sweep.Run(ctx, jobs, sweep.Options{
-		Workers:    cfg.Workers,
-		FailFast:   cfg.FailFast,
-		Cache:      inner,
-		OnProgress: cfg.Progress,
-		Telemetry:  cfg.Telemetry.registry(),
-		Stats:      &pstats,
+		Workers:     cfg.Workers,
+		FailFast:    cfg.FailFast,
+		Cache:       inner,
+		OnProgress:  cfg.Progress,
+		Telemetry:   cfg.Telemetry.registry(),
+		Stats:       &pstats,
+		CellTimeout: cfg.CellTimeout,
+		Retry:       sweep.RetryPolicy{Max: cfg.Retries, Base: cfg.RetryBase},
+		Journal:     jr,
 	})
 	if cfg.FailFast && err != nil {
 		return nil, err
@@ -265,11 +381,19 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 			Cached:   pstats.Cached,
 			Failed:   pstats.Failed,
 			Skipped:  pstats.Skipped,
+			Replayed: pstats.Replayed,
+			Retried:  pstats.Retries,
 		},
 		nw: nw, np: np, ns: ns,
 	}
 	for i, o := range outs {
-		cell := SweepCell{Config: cells[i].withDefaults(), Err: o.Err, Cached: o.Cached}
+		cell := SweepCell{
+			Config:   cells[i].withDefaults(),
+			Err:      o.Err,
+			Cached:   o.Cached,
+			Replayed: o.Replayed,
+			Attempts: o.Attempts,
+		}
 		if o.Err == nil {
 			r, ok := o.Value.(*Result)
 			if !ok {
@@ -298,6 +422,7 @@ type SweepCacheStats struct {
 	Hits     int // served from memory or disk
 	DiskHits int // subset of Hits that came off disk
 	Misses   int
+	Corrupt  int   // corrupt disk entries quarantined (deleted) as misses
 	Entries  int   // live in-memory entries
 	Bytes    int64 // encoded bytes held in memory
 }
@@ -332,6 +457,7 @@ func (c *SweepCache) Stats() SweepCacheStats {
 		Hits:     s.Hits,
 		DiskHits: s.DiskHits,
 		Misses:   s.Misses,
+		Corrupt:  s.Corrupt,
 		Entries:  s.Entries,
 		Bytes:    s.Bytes,
 	}

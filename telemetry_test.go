@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -238,5 +239,86 @@ func TestTelemetryPreRegistered(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("pre-registered /metrics missing %q; got:\n%s", want, text)
 		}
+	}
+}
+
+// TestTelemetrySpillEvents covers the public spill-to-disk event log: attach,
+// run, shutdown, read back.
+func TestTelemetrySpillEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	tel := NewTelemetry()
+	if err := tel.SpillEvents(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.SpillEvents(path); err == nil {
+		t.Error("double SpillEvents accepted")
+	}
+	if _, err := Run(Config{Workload: RectWave, Duration: time.Second, Telemetry: tel}); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown (nothing serving) syncs and closes the spill.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := tel.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadSpilledEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range evs {
+		names = append(names, e.Name)
+	}
+	if len(evs) < 2 || names[0] != "run.start" || names[len(names)-1] != "run.done" {
+		t.Fatalf("spilled events %v, want run.start .. run.done", names)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) || e.Wall.IsZero() {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+	if evs[0].Fields[0].Key != "workload" || evs[0].Fields[0].Value != string(RectWave) {
+		t.Errorf("run.start fields %+v", evs[0].Fields)
+	}
+	// Nil receiver stays a no-op.
+	var nilTel *Telemetry
+	if err := nilTel.SpillEvents(path); err == nil {
+		t.Error("nil Telemetry accepted a spill")
+	}
+	if err := nilTel.Shutdown(context.Background()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTelemetryServeShutdown drains the public HTTP listener gracefully.
+func TestTelemetryServeShutdown(t *testing.T) {
+	tel := NewTelemetry()
+	addr, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := tel.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("listener alive after Shutdown")
+	}
+	// Serve again after shutdown: the Telemetry is reusable.
+	addr2, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	if addr2 == "" {
+		t.Error("re-serve returned empty address")
 	}
 }
