@@ -1,12 +1,13 @@
 # Build and verification tiers. `make check` is the full local gate:
 # static vetting, the complete test suite under the race detector, short
-# fuzz smokes of the trace parser and the journal replayer, the kernel
-# stress tests under -race, the parallel-sweep determinism proof under
-# -race, and the durability (checkpoint/resume/retry) suite under -race.
+# fuzz smokes of the trace parser, the journal replayer, and the job-spec
+# decoder, the kernel stress tests under -race, the parallel-sweep
+# determinism proof under -race, the durability (checkpoint/resume/retry)
+# suite under -race, and the sweep-service suite under -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race bench-sweep
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race bench-sweep
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
+	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=10s ./internal/service/
 
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
@@ -45,10 +47,17 @@ telemetry-race:
 durability-race:
 	$(GO) test -race -count=1 -run 'Durable|Resume|Retry|Timeout|Journal|Deadline|Corrupt|Spill|Transient' -v . ./internal/sweep/ ./internal/journal/ ./internal/expt/ ./internal/telemetry/
 
+# The sweep service under the race detector: concurrent submit/cancel/
+# drain, queue-full backpressure (429 + Retry-After), version-mismatch
+# admission, restart resumption, and the SIGKILL-the-daemon subprocess
+# proof of byte-identical resume.
+service-race:
+	$(GO) test -race -count=1 -v ./internal/service/
+
 # Serial vs parallel wall time of the full Table 2 grid, recorded to
 # BENCH_sweep.json (also verifies the merges are identical).
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race
 	@echo "check: all tiers passed"

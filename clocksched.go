@@ -65,41 +65,46 @@ const (
 	Peg    SpeedSetter = "peg"    // jump to the extreme step
 )
 
-// Policy specifies a clock scheduling policy.
+// Policy specifies a clock scheduling policy. The JSON field tags define
+// the policy's wire form inside a SweepSpec, so a policy built by one
+// process (a client submitting a job) reconstructs identically in another
+// (the sweep daemon).
 type Policy struct {
 	// Constant, when true, fixes the clock at MHz/LowVoltage and
 	// disables interval scheduling (the paper's baseline rows).
-	Constant bool
+	Constant bool `json:"constant,omitempty"`
 	// MHz is the constant clock frequency; the nearest of the SA-1100's
 	// eleven steps is used. Ignored for interval policies.
-	MHz float64
+	MHz float64 `json:"mhz,omitempty"`
 	// LowVoltage runs the core at 1.23 V instead of 1.5 V (constant
 	// policies only; it must be safe at the chosen step, i.e. below
 	// 162.2 MHz).
-	LowVoltage bool
+	LowVoltage bool `json:"low_voltage,omitempty"`
 
 	// AvgN is the predictor decay: 0 is PAST, N > 0 is AVG_N.
-	AvgN int
+	AvgN int `json:"avg_n,omitempty"`
 	// Up and Down are the speed setters for the two directions.
-	Up, Down SpeedSetter
+	Up   SpeedSetter `json:"up,omitempty"`
+	Down SpeedSetter `json:"down,omitempty"`
 	// LoPercent and HiPercent are the hysteresis bounds: scale down
 	// below Lo% weighted utilization, up above Hi%.
-	LoPercent, HiPercent int
+	LoPercent int `json:"lo_percent,omitempty"`
+	HiPercent int `json:"hi_percent,omitempty"`
 	// VoltageScale drops the core to 1.23 V whenever the clock is below
 	// 162.2 MHz.
-	VoltageScale bool
+	VoltageScale bool `json:"voltage_scale,omitempty"`
 
 	// Deadline selects the application-informed deadline scheduler (the
 	// paper's future-work direction) instead of an interval heuristic;
 	// only MPEG currently advertises deadlines. AvgN/Up/Down/bounds are
 	// ignored.
-	Deadline bool
+	Deadline bool `json:"deadline,omitempty"`
 
 	// Proportional selects the ondemand-style proportional governor:
 	// the AvgN predictor's estimate sets the speed directly against
 	// TargetPercent headroom. Up/Down/bounds are ignored.
-	Proportional  bool
-	TargetPercent int
+	Proportional  bool `json:"proportional,omitempty"`
+	TargetPercent int  `json:"target_percent,omitempty"`
 }
 
 // ConstantPolicy returns the baseline policy: a fixed clock and voltage.
@@ -276,35 +281,36 @@ type FaultPlan struct {
 	// ClockChangeFailProb makes a requested clock-step transition fail
 	// silently: the PLL never relocks, the step stays put, and the policy
 	// discovers the refusal only by observing the unchanged step.
-	ClockChangeFailProb float64
+	ClockChangeFailProb float64 `json:"clock_change_fail_prob,omitempty"`
 	// SettleStallProb extends a successful clock change's 200 µs relock
-	// stall by a uniform extra delay in (0, SettleStallMax].
-	SettleStallProb float64
-	SettleStallMax  time.Duration // zero: 2 ms
+	// stall by a uniform extra delay in (0, SettleStallMax]. Durations
+	// travel as integer nanoseconds in JSON.
+	SettleStallProb float64       `json:"settle_stall_prob,omitempty"`
+	SettleStallMax  time.Duration `json:"settle_stall_max,omitempty"` // zero: 2 ms
 	// SampleDropProb loses a DAQ conversion; the instrument repeats its
 	// previous reading.
-	SampleDropProb float64
+	SampleDropProb float64 `json:"sample_drop_prob,omitempty"`
 	// SampleGlitchProb perturbs a DAQ reading by a uniform additive error
 	// in [−SampleGlitchWatts, +SampleGlitchWatts], clipped to the ADC
 	// range.
-	SampleGlitchProb  float64
-	SampleGlitchWatts float64 // zero: 0.5 W
+	SampleGlitchProb  float64 `json:"sample_glitch_prob,omitempty"`
+	SampleGlitchWatts float64 `json:"sample_glitch_watts,omitempty"` // zero: 0.5 W
 	// TimerJitterProb delays a quantum timer interrupt by a uniform
 	// amount in (0, TimerJitterMax].
-	TimerJitterProb float64
-	TimerJitterMax  time.Duration // zero: 2 ms
+	TimerJitterProb float64       `json:"timer_jitter_prob,omitempty"`
+	TimerJitterMax  time.Duration `json:"timer_jitter_max,omitempty"` // zero: 2 ms
 	// TraceDropProb loses a scheduler trace event; TraceDelayProb stamps
 	// one late by up to TraceDelayMax.
-	TraceDropProb  float64
-	TraceDelayProb float64
-	TraceDelayMax  time.Duration // zero: 5 ms
+	TraceDropProb  float64       `json:"trace_drop_prob,omitempty"`
+	TraceDelayProb float64       `json:"trace_delay_prob,omitempty"`
+	TraceDelayMax  time.Duration `json:"trace_delay_max,omitempty"` // zero: 5 ms
 	// CellAbortProb kills the whole run at a quantum boundary with that
 	// per-quantum probability — the crashed-worker failure mode. The
 	// resulting error is transient, so a Sweep configured with Retries
 	// re-runs the cell; the abort schedule is re-drawn per attempt while
 	// every other fault decision (and any successful run) stays
 	// bit-identical.
-	CellAbortProb float64
+	CellAbortProb float64 `json:"cell_abort_prob,omitempty"`
 }
 
 func (p *FaultPlan) internal() *fault.Plan {
@@ -333,20 +339,20 @@ func (p *FaultPlan) internal() *fault.Plan {
 type WatchdogConfig struct {
 	// Window and MaxReversals configure the oscillation detector: that
 	// many direction reversals within Window quanta trips safe mode.
-	Window       int
-	MaxReversals int
+	Window       int `json:"window,omitempty"`
+	MaxReversals int `json:"max_reversals,omitempty"`
 	// PegQuanta and PegUtilPercent configure the pegging detector:
 	// PegQuanta consecutive quanta at the minimum clock step with
 	// utilization at or above PegUtilPercent trip safe mode.
-	PegQuanta      int
-	PegUtilPercent int
+	PegQuanta      int `json:"peg_quanta,omitempty"`
+	PegUtilPercent int `json:"peg_util_percent,omitempty"`
 	// MissStreak consecutive deadlines late beyond DeadlineSlack trip
 	// safe mode.
-	MissStreak int
+	MissStreak int `json:"miss_streak,omitempty"`
 	// SafeQuanta is the first trip's safe-mode hold, in 10 ms quanta;
 	// each further trip doubles it up to MaxSafeQuanta.
-	SafeQuanta    int
-	MaxSafeQuanta int
+	SafeQuanta    int `json:"safe_quanta,omitempty"`
+	MaxSafeQuanta int `json:"max_safe_quanta,omitempty"`
 }
 
 func (c *WatchdogConfig) internal() *policy.WatchdogConfig {

@@ -76,6 +76,8 @@ func main() {
 			"wall-clock budget per cell attempt on the parallel leg (0 disables)")
 		retries = flag.Int("retries", 0,
 			"per-cell retry budget for transient failures on the parallel leg")
+		progress = flag.Bool("progress", false,
+			"print per-cell completion counts for the parallel leg; resumed runs start at the replayed count")
 	)
 	flag.Parse()
 
@@ -100,6 +102,11 @@ func main() {
 	pcfg.Resume = *resume
 	pcfg.CellTimeout = *cellTimeout
 	pcfg.Retries = *retries
+	if *progress {
+		pcfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "benchsweep: cell %d/%d\n", done, total)
+		}
+	}
 	start := time.Now()
 	parallel, err := clocksched.Sweep(context.Background(), pcfg)
 	parallelTime := time.Since(start)

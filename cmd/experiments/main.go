@@ -49,6 +49,10 @@ func main() {
 			"retry budget per grid cell for transient failures, with seeded exponential backoff")
 		telAddr = flag.String("telemetry", "",
 			"serve live telemetry on this address (e.g. :8080): /metrics, /metrics.json, /debug/vars, /debug/pprof")
+		progress = flag.Bool("progress", false,
+			"print per-cell completion counts for grid experiments; resumed runs start at the replayed count")
+		remote = flag.String("remote", "",
+			"submit grid work to a sweepd daemon at this base URL (e.g. http://localhost:8900) instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -61,11 +65,15 @@ func main() {
 
 	// run holds the defers (telemetry drain, journal close) so they fire on
 	// every exit path, including an interrupt; os.Exit would skip them.
-	os.Exit(run(outDir, only, seed, workers, nocache, resume, cellTimeout, retries, telAddr))
+	os.Exit(run(outDir, only, seed, workers, nocache, resume, cellTimeout, retries, telAddr, progress, remote))
 }
 
 func run(outDir, only *string, seed *uint64, workers *int, nocache, resume *bool,
-	cellTimeout *time.Duration, retries *int, telAddr *string) int {
+	cellTimeout *time.Duration, retries *int, telAddr *string, progress *bool, remote *string) int {
+
+	if *remote != "" {
+		return runRemote(*remote, *outDir, *only, *seed, *progress)
+	}
 
 	experiments := expt.Registry()
 	if *only != "" {
@@ -91,6 +99,11 @@ func run(outDir, only *string, seed *uint64, workers *int, nocache, resume *bool
 		Workers:     *workers,
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
+	}
+	if *progress {
+		env.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "experiments: cell %d/%d\n", done, total)
+		}
 	}
 	if *telAddr != "" {
 		reg := telemetry.New()

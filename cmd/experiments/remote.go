@@ -1,0 +1,165 @@
+package main
+
+// Remote execution: -remote hands the Table 2 measurement grid to a sweepd
+// daemon instead of simulating locally. The daemon journals every cell, so
+// a killed daemon resumes the job and the fetched result is byte-identical
+// to an uninterrupted local Sweep over the same grid.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"clocksched"
+	"clocksched/internal/expt"
+	"clocksched/internal/service"
+	"clocksched/internal/stats"
+)
+
+// table2Algorithms names the grid's policy axis in presentation order; the
+// positions match remoteTable2Config's Policies slice.
+var table2Algorithms = []string{
+	"Constant Speed @ 206.4 MHz, 1.5 Volts",
+	"Constant Speed @ 132.7 MHz, 1.5 Volts",
+	"Constant Speed @ 132.7 MHz, 1.23 Volts",
+	"PAST, Peg-Peg, Thresholds: >98% up, <93% down, 1.5 Volts",
+	"PAST, Peg-Peg, Thresholds: >98% up, <93% down, Voltage Scaling @ 162.2 MHz",
+}
+
+// remoteTable2Config builds the Table 2 grid through the public API: five
+// policies × Table2Runs seeds of the 60-second MPEG workload, seeds starting
+// at the -seed flag (default 1, matching the local table).
+func remoteTable2Config(seed uint64) clocksched.SweepConfig {
+	best := clocksched.PASTPegPeg()
+	bestVS := clocksched.PASTPegPeg()
+	bestVS.VoltageScale = true
+	seeds := make([]uint64, expt.Table2Runs)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)
+	}
+	return clocksched.SweepConfig{
+		Workloads: []clocksched.Workload{clocksched.MPEG},
+		Policies: []clocksched.Policy{
+			clocksched.ConstantPolicy(206.4, false),
+			clocksched.ConstantPolicy(132.7, false),
+			clocksched.ConstantPolicy(132.7, true),
+			best,
+			bestVS,
+		},
+		Seeds:    seeds,
+		FailFast: true,
+	}
+}
+
+// foldTable2 reduces the remote sweep result to the paper's Table 2 rows:
+// a 95% CI over per-run energy, total deadline misses beyond the perceptual
+// slack, and the mean clock-change count.
+func foldTable2(res *clocksched.SweepResult) ([]expt.Table2Row, error) {
+	rows := make([]expt.Table2Row, 0, len(table2Algorithms))
+	for pi, name := range table2Algorithms {
+		energies := make([]float64, 0, expt.Table2Runs)
+		misses := 0
+		changes := 0
+		for si := 0; si < expt.Table2Runs; si++ {
+			cell := res.CellAt(0, pi, si)
+			if cell == nil {
+				return nil, fmt.Errorf("remote result missing cell (policy %d, seed %d)", pi, si)
+			}
+			if cell.Err != nil {
+				return nil, fmt.Errorf("remote cell (policy %d, seed %d): %w", pi, si, cell.Err)
+			}
+			energies = append(energies, cell.Result.EnergyJoules)
+			misses += cell.Result.Misses
+			changes += cell.Result.ClockChanges
+		}
+		ci95, err := stats.CI95(energies)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, expt.Table2Row{
+			Algorithm:    name,
+			Energy:       ci95,
+			Misses:       misses,
+			SpeedChanges: float64(changes) / expt.Table2Runs,
+		})
+	}
+	return rows, nil
+}
+
+// runRemote submits the Table 2 grid to a sweepd daemon, follows the job's
+// live progress, and renders the fetched result exactly as the local table
+// experiment would. Only the table2 grid runs remotely; other experiments
+// are trace- or closed-form-driven and stay local.
+func runRemote(base, outDir, only string, seed uint64, progress bool) int {
+	if only != "" && only != "table2" {
+		fmt.Fprintf(os.Stderr, "experiments: -remote runs the table2 grid; %q is local-only (drop -remote)\n", only)
+		return 2
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec := clocksched.NewSweepSpec(remoteTable2Config(seed))
+	client := &service.Client{Base: base}
+
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: remote submit:", err)
+		return 1
+	}
+	fmt.Printf("==> table2 (remote %s) — job %s, %d cells\n", base, st.ID, st.Total)
+
+	lastDone := -1
+	onProgress := func(done, total int) {
+		if !progress || done == lastDone {
+			return
+		}
+		lastDone = done
+		fmt.Fprintf(os.Stderr, "experiments: cell %d/%d\n", done, total)
+	}
+	st, err = client.Wait(ctx, st.ID, onProgress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: remote wait:", err)
+		return 1
+	}
+	switch st.State {
+	case service.StateDone:
+	case service.StateFailed:
+		fmt.Fprintf(os.Stderr, "experiments: remote job %s failed: %s\n", st.ID, st.Error)
+		return 1
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: remote job %s ended %s\n", st.ID, st.State)
+		return 1
+	}
+	if st.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: remote job %s replayed %d cell(s) from its journal\n", st.ID, st.Replayed)
+	}
+
+	res, err := client.Result(ctx, st.ID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: remote result:", err)
+		return 1
+	}
+	rows, err := foldTable2(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: remote table2:", err)
+		return 1
+	}
+	summary := expt.RenderTable2(rows)
+	fmt.Print(summary)
+
+	artifact := filepath.Join(outDir, "table2_remote.txt")
+	if err := os.WriteFile(artifact, []byte(summary), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("\nartifact written to %s\n", artifact)
+	return 0
+}

@@ -1,0 +1,102 @@
+// Command sweepd is the networked sweep daemon: it accepts declarative
+// sweep jobs over HTTP, queues them through a bounded admission queue,
+// runs them across a shared worker budget, and checkpoints every completed
+// cell so a killed daemon restarts with all of its work intact.
+//
+// Durability lives under -data: the job manifest, the shared cell cache,
+// and one journal + result file per job. SIGKILL the daemon at any moment,
+// start it again with the same -data, and every queued or running job
+// resumes to the byte-identical result an uninterrupted run would have
+// produced.
+//
+// Usage:
+//
+//	sweepd -addr :8900 -data /var/lib/sweepd
+//	sweepd -addr 127.0.0.1:0 -data ./sweepd-data -max-jobs 2 -workers 4
+//
+// Submit work with curl (see the README quickstart) or programmatically
+// via the service client used by `experiments -remote`. SIGTERM drains:
+// admission stops, running jobs finish (up to -drain-timeout, then they
+// are checkpoint-cancelled), queued jobs stay durably queued for the next
+// start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"clocksched"
+	"clocksched/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8900", "HTTP listen address (host:port; :0 for an ephemeral port)")
+		dataDir = flag.String("data", "sweepd-data",
+			"durable state directory: job manifest, cell cache, per-job journals and results")
+		maxQueue = flag.Int("max-queue", 16, "admission queue bound; a full queue answers 429 + Retry-After")
+		maxJobs  = flag.Int("max-jobs", 2, "jobs running concurrently; the worker budget is split between them")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "total simulation workers shared across active jobs")
+		retry    = flag.Duration("retry-after", 2*time.Second, "backoff hint attached to 429 responses")
+		drain    = flag.Duration("drain-timeout", 30*time.Second,
+			"how long SIGTERM waits for running jobs before checkpoint-cancelling them")
+	)
+	flag.Parse()
+	os.Exit(run(*addr, *dataDir, *maxQueue, *maxJobs, *workers, *retry, *drain))
+}
+
+func run(addr, dataDir string, maxQueue, maxJobs, workers int, retry, drainTimeout time.Duration) int {
+	svc, err := service.New(service.Config{
+		DataDir:       dataDir,
+		MaxQueue:      maxQueue,
+		MaxActiveJobs: maxJobs,
+		Workers:       workers,
+		RetryAfter:    retry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	// The bound address goes to stdout so scripts (and the crash tests)
+	// can discover an ephemeral port.
+	fmt.Printf("sweepd: listening on %s (sim %s, data %s)\n", ln.Addr(), clocksched.SimVersion(), dataDir)
+
+	httpSrv := &http.Server{Handler: svc}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (timeout %v)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := svc.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd: drain:", err)
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer scancel()
+		httpSrv.Shutdown(sctx)
+		fmt.Fprintln(os.Stderr, "sweepd: drained; queued jobs remain journaled for the next start")
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		svc.Close()
+		return 1
+	}
+}

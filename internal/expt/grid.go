@@ -40,6 +40,10 @@ type Env struct {
 	// with seeded exponential backoff; zero Retries disables.
 	Retries   int
 	RetryBase time.Duration
+	// Progress, when non-nil, receives the sweep pool's done/total counts
+	// (see sweep.Options.OnProgress). A resumed run's counts start at the
+	// journal-replayed cell count.
+	Progress func(done, total int)
 }
 
 // DefaultEnv is the serial environment the pre-batch API ran under: one
@@ -146,6 +150,7 @@ func RunGrid(env Env, cells []GridCell, keepUtil bool) ([]Cell, error) {
 		Workers:     env.Workers,
 		FailFast:    true,
 		Cache:       env.Cache,
+		OnProgress:  env.Progress,
 		Telemetry:   env.Telemetry,
 		Stats:       env.Stats,
 		Journal:     env.Journal,

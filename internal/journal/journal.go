@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -190,27 +191,37 @@ func Open(path string, resume bool, fn func(payload []byte) error) (*Writer, Rep
 	return &Writer{f: f, bw: bufio.NewWriter(f)}, stats, nil
 }
 
-// Append frames and buffers one record. The record is not durable until
-// Sync (or Close) returns.
-func (w *Writer) Append(payload []byte) error {
+// writeRecord frames one payload — length, checksum, bytes — onto w. It is
+// the single encoder behind both live appends and Rewrite, so a rewritten
+// journal is byte-for-byte what appending the same payloads would produce.
+func writeRecord(w io.Writer, payload []byte) error {
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord", len(payload))
 	}
 	var hdr [recHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
 
+// Append frames and buffers one record. The record is not durable until
+// Sync (or Close) returns.
+func (w *Writer) Append(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
 	}
-	if _, err := w.bw.Write(hdr[:]); err != nil {
-		w.err = err
-		return err
-	}
-	if _, err := w.bw.Write(payload); err != nil {
-		w.err = err
+	if err := writeRecord(w.bw, payload); err != nil {
+		if len(payload) <= MaxRecord {
+			// An oversized record is the caller's mistake, not a broken
+			// file; only real write failures poison the writer.
+			w.err = err
+		}
 		return err
 	}
 	return nil
@@ -236,6 +247,54 @@ func (w *Writer) syncLocked() error {
 	if err := w.f.Sync(); err != nil {
 		w.err = err
 		return err
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the journal at path with a fresh one holding
+// exactly the given payloads, in order. The new log is assembled in a
+// temporary file in the same directory, fsynced, and renamed over the
+// original, so a crash at any point leaves either the old journal or the
+// complete new one — never a mix. This is the primitive under journal
+// compaction: the caller replays the old log, decides which records are
+// still live, and rewrites.
+func Rewrite(path string, payloads [][]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".rewrite-*")
+	if err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename lands
+
+	bw := bufio.NewWriter(tmp)
+	werr := func() error {
+		if _, err := bw.Write(fileMagic); err != nil {
+			return err
+		}
+		for _, p := range payloads {
+			if err := writeRecord(bw, p); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("journal: rewrite: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	// Best-effort directory sync so the rename itself survives power loss;
+	// filesystems that cannot fsync a directory still got the atomic rename.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

@@ -1,0 +1,224 @@
+package service
+
+// Client is the Go-side of the job API, used by `experiments -remote` and
+// the service tests. Every error a server rejects a request with comes
+// back as the same *APIError the server constructed — code, message, and
+// Retry-After hint intact — so callers branch on Code, not on substrings.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"clocksched"
+)
+
+// Client talks to one sweepd daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8900".
+	Base string
+	// HTTP, when non-nil, overrides http.DefaultClient (tests inject a
+	// transport; CLIs set timeouts).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// decodeError reconstructs the server's structured error from a non-2xx
+// response.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+		env.Error.Status = resp.StatusCode
+		if env.Error.RetryAfter == 0 {
+			if h := resp.Header.Get("Retry-After"); h != "" {
+				if d, err := time.ParseDuration(h + "s"); err == nil {
+					env.Error.RetryAfter = d
+				}
+			}
+		}
+		return env.Error
+	}
+	return &APIError{Status: resp.StatusCode, Code: CodeInternal,
+		Message: fmt.Sprintf("unexpected response: %s", bytes.TrimSpace(body))}
+}
+
+// do issues one request and decodes a JSON response into out (unless nil).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts the spec and returns the accepted job's status. Rejections
+// (429 queue full, 409 version mismatch, 400 invalid, 503 draining) come
+// back as *APIError.
+func (c *Client) Submit(ctx context.Context, spec clocksched.SweepSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job on the daemon in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel asks the daemon to cancel the job at its next quantum boundary.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// ResultBytes fetches a finished job's canonical result envelope.
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/result"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Result fetches and decodes a finished job's SweepResult.
+func (c *Client) Result(ctx context.Context, id string) (*clocksched.SweepResult, error) {
+	b, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return clocksched.DecodeSweepResult(b)
+}
+
+// Events streams the job's SSE feed, invoking fn per event until the job
+// reaches a terminal state, fn returns an error, or ctx is cancelled. It
+// returns nil on a terminal event; io.EOF from a dropped connection is
+// surfaced so callers can reconnect or fall back to polling.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("service: bad event payload: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+		if ev.Type == "state" && ev.State.terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF // stream ended without a terminal event
+}
+
+// Wait blocks until the job is terminal, preferring the event stream and
+// falling back to status polling if the stream drops (daemon restart). A
+// non-nil onProgress observes done/total counts as they arrive.
+func (c *Client) Wait(ctx context.Context, id string, onProgress func(done, total int)) (JobStatus, error) {
+	for {
+		// The stream can drop (daemon restart) or end on a state the
+		// server has since rolled back to queued; the status probe below
+		// is the arbiter either way.
+		_ = c.Events(ctx, id, func(ev Event) error {
+			if onProgress != nil && ev.Total > 0 {
+				onProgress(ev.Done, ev.Total)
+			}
+			return nil
+		})
+		if ctx.Err() != nil {
+			return JobStatus{}, ctx.Err()
+		}
+		if st, err := c.Status(ctx, id); err == nil && st.State.terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(250 * time.Millisecond):
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"clocksched"
+)
+
+// FuzzJobSpecDecode drives the exact decoder the submit handler uses with
+// arbitrary bytes. Invariants: the decoder never panics, every rejection is
+// a structured *APIError, and anything it accepts survives the rest of the
+// admission pipeline (re-marshal, version check, validation, grid sizing)
+// without panicking.
+func FuzzJobSpecDecode(f *testing.F) {
+	valid, err := json.Marshal(testSpec(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(`{}`))
+	f.Add(valid)
+	f.Add([]byte(`{"sim_version":"clocksched-sim/0"}`))
+	f.Add([]byte(`{"sim_version":"x","workloadz":["rect"]}`)) // unknown field
+	f.Add([]byte(`{"sim_version":"x","duration":"2s","seeds":[1,2,3]}`))
+	f.Add([]byte(`{"duration":-9223372036854775808,"seeds":[18446744073709551615]}`))
+	f.Add([]byte(`{"cells":[{"workload":"mpeg","faults":{"sample_drop_prob":0.25}}]}`))
+	f.Add([]byte(`{"axes":`))   // truncated
+	f.Add([]byte("\xff\xfe{}")) // invalid UTF-8 prefix
+	f.Add([]byte(`[1,2,3]`))    // wrong top-level type
+	f.Add([]byte(`{"duration":{}}`))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		spec, err := DecodeJobSpec(b)
+		if err != nil {
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("unstructured decode error: %v", err)
+			}
+			if apiErr.Status != 400 {
+				t.Fatalf("decode rejection with status %d: %v", apiErr.Status, err)
+			}
+			return
+		}
+		// Accepted specs must round-trip and must not panic anywhere on the
+		// admission path.
+		if _, err := json.Marshal(spec); err != nil {
+			t.Fatalf("accepted spec does not re-marshal: %v", err)
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			if !errors.Is(err, clocksched.ErrVersionMismatch) {
+				t.Fatalf("spec.Config: %v", err)
+			}
+			return
+		}
+		_ = cfg.Validate()
+		_ = cfg.GridSize()
+	})
+}

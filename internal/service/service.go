@@ -1,0 +1,835 @@
+// Package service is the networked sweep daemon's engine: an HTTP+JSON job
+// API over the existing sweep machinery. Clients POST a declarative
+// SweepSpec, the server queues it through a bounded admission queue, runs
+// it across a shared worker budget, checkpoints every completed cell to a
+// per-job write-ahead journal, and retains the canonical result bytes on
+// disk — so a SIGKILL'd daemon restarts with every queued and running job
+// intact and resumes them to byte-identical results.
+//
+// Layering: the service sits strictly above the public clocksched API (it
+// imports the root package, never the reverse). Determinism is inherited,
+// not re-implemented — a job's result bytes are EncodeSweepResult of a
+// Sweep, which is canonical whatever mix of fresh runs, cache hits, and
+// journal replays produced it.
+//
+// Durability model, in order of trust:
+//
+//   - The job manifest (dataDir/manifest.wal) is the job table's source of
+//     truth: a submit record at admission, a state record only when a job
+//     reaches a terminal state. A job's terminal record is appended only
+//     after its result bytes are atomically on disk, so a crash between
+//     the two leaves a non-terminal job that simply re-runs (resuming its
+//     cell journal) on the next boot.
+//   - Each job's cell journal (dataDir/jobs/<id>/sweep.wal) plus the
+//     shared content-addressed cell cache (dataDir/cache) make the re-run
+//     cheap: completed cells replay instead of re-simulating.
+//   - Everything else — queue order, progress counts, subscriber state —
+//     is in-memory and rebuilt or recomputed on boot.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"clocksched"
+	"clocksched/internal/journal"
+	"clocksched/internal/telemetry"
+)
+
+// Service-level metric names, exported on /metrics alongside each job's
+// scoped registry.
+const (
+	mJobsQueued   = "service_jobs_queued"
+	mJobsActive   = "service_jobs_active"
+	mJobsDone     = `service_jobs_total{state="done"}`
+	mJobsFailed   = `service_jobs_total{state="failed"}`
+	mJobsCanceled = `service_jobs_total{state="cancelled"}`
+	mRejectedFull = `service_rejects_total{reason="queue_full"}`
+	mRejectedVer  = `service_rejects_total{reason="version_mismatch"}`
+	mRejectedSpec = `service_rejects_total{reason="invalid_spec"}`
+	mRejectedDrn  = `service_rejects_total{reason="draining"}`
+)
+
+// Config tunes one Server. The zero value of every field but DataDir is
+// usable; see the field defaults.
+type Config struct {
+	// DataDir roots the server's durable state: manifest.wal, cache/, and
+	// jobs/<id>/ directories. Required.
+	DataDir string
+	// MaxQueue bounds the admission queue: at most this many jobs may be
+	// waiting (not yet running) before submissions are rejected with 429.
+	// Non-positive selects 16. Jobs recovered from the manifest on boot
+	// are admitted above the bound — they were accepted before the crash.
+	MaxQueue int
+	// MaxActiveJobs bounds how many jobs run concurrently; the worker
+	// budget is split evenly between them. Non-positive selects 2.
+	MaxActiveJobs int
+	// Workers is the total simulation worker budget shared fairly across
+	// active jobs (each job gets max(1, Workers/MaxActiveJobs)).
+	// Non-positive selects GOMAXPROCS.
+	Workers int
+	// RetryAfter is the backoff hint attached to 429 responses.
+	// Non-positive selects 2s.
+	RetryAfter time.Duration
+	// CellDelay, when positive, sleeps this long in each job's progress
+	// callback after every completed cell. Simulated cells finish in
+	// milliseconds, far too fast to kill a daemon mid-job on purpose; the
+	// crash tests widen the window with this. Zero for production.
+	CellDelay time.Duration
+}
+
+// withDefaults resolves the zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxActiveJobs <= 0 {
+		c.MaxActiveJobs = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	return c
+}
+
+// JobState is a job's lifecycle position. Terminal states are StateDone,
+// StateFailed, and StateCancelled.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// manifestRecord is one entry of the job manifest WAL.
+type manifestRecord struct {
+	Op    string                `json:"op"` // "submit" | "state"
+	ID    string                `json:"id"`
+	Spec  *clocksched.SweepSpec `json:"spec,omitempty"`
+	State JobState              `json:"state,omitempty"`
+	Error string                `json:"error,omitempty"`
+}
+
+// job is the server-side record of one submitted sweep.
+type job struct {
+	id    string
+	spec  clocksched.SweepSpec
+	dir   string // dataDir/jobs/<id>
+	total int    // grid size
+
+	mu        sync.Mutex
+	state     JobState
+	errText   string // terminal failure text
+	done      int    // completed cells
+	replayed  int    // cells recovered via journal replay on the last run
+	cancelled bool   // user asked for cancellation
+	cancel    context.CancelFunc
+	tel       *clocksched.Telemetry
+	subs      map[chan Event]struct{}
+	submitted time.Time
+}
+
+// Event is one job lifecycle or progress notification, streamed to
+// /v1/jobs/{id}/events subscribers.
+type Event struct {
+	// Type is "state" (job changed lifecycle state) or "progress" (cells
+	// completed).
+	Type  string   `json:"type"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+	// Error carries the terminal failure text with a "state" event of
+	// StateFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// Server owns the job table, the admission queue, and the runner pool. It
+// is an http.Handler (see http.go) and is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *clocksched.SweepCache
+	reg   *telemetry.Registry // service-level metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	queue    []*job   // admission queue (head runs next)
+	queued   int      // len(queue) minus cancelled entries
+	recovery int      // boot-recovered jobs still queued, exempt from MaxQueue
+	draining bool
+	closed   bool
+	nextID   int
+
+	cond     *sync.Cond // signals runners: queue non-empty or shutdown
+	manifest *journal.Writer
+
+	muxOnce sync.Once
+	muxVal  *http.ServeMux
+
+	runCtx    context.Context // cancelled on Close (hard stop)
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup // runner goroutines
+}
+
+// New builds the server, replaying the job manifest under cfg.DataDir:
+// jobs that reached a terminal state before the last shutdown stay
+// terminal (their results remain fetchable), and every queued or running
+// job is re-queued — with its cell journal, so completed cells replay
+// rather than re-simulate. Runner goroutines start immediately.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	for _, d := range []string{cfg.DataDir, filepath.Join(cfg.DataDir, "jobs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	cache, err := clocksched.NewSweepCache(0, filepath.Join(cfg.DataDir, "cache"))
+	if err != nil {
+		return nil, fmt.Errorf("service: cache: %w", err)
+	}
+
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		reg:   telemetry.New(),
+		jobs:  map[string]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < cfg.MaxActiveJobs; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// recover replays the manifest into the job table and reopens it for
+// appending.
+func (s *Server) recover() error {
+	path := s.manifestPath()
+	specs := map[string]*clocksched.SweepSpec{}
+	states := map[string]JobState{}
+	errs := map[string]string{}
+	var order []string
+	_, err := journal.ReplayFile(path, func(p []byte) error {
+		var rec manifestRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("service: manifest %s: bad record: %w", path, err)
+		}
+		switch rec.Op {
+		case "submit":
+			if rec.ID == "" || rec.Spec == nil {
+				return fmt.Errorf("service: manifest %s: submit record missing id or spec", path)
+			}
+			if _, dup := specs[rec.ID]; !dup {
+				order = append(order, rec.ID)
+			}
+			specs[rec.ID] = rec.Spec
+		case "state":
+			states[rec.ID] = rec.State
+			errs[rec.ID] = rec.Error
+		default:
+			return fmt.Errorf("service: manifest %s: unknown op %q", path, rec.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Reopen for appending; the replay above already parsed the records,
+	// so the second scan only finds the append offset and drops any torn
+	// tail. The torn records (if any) were never acknowledged to a client
+	// — an fsync'd append is the admission commit point.
+	w, _, err := journal.Open(path, true, nil)
+	if err != nil {
+		return err
+	}
+	s.manifest = w
+
+	for _, id := range order {
+		spec := specs[id]
+		j := &job{
+			id:    id,
+			spec:  *spec,
+			dir:   s.jobDir(id),
+			state: StateQueued,
+			subs:  map[chan Event]struct{}{},
+		}
+		if cfg, err := spec.Config(); err == nil {
+			j.total = cfg.GridSize()
+		}
+		if st, ok := states[id]; ok && st.terminal() {
+			j.state = st
+			j.errText = errs[id]
+			if st == StateDone {
+				if _, err := os.Stat(s.resultPath(id)); err != nil {
+					// The terminal record exists but the bytes do not
+					// (deleted out of band): fall back to re-running.
+					j.state = StateQueued
+					j.errText = ""
+				} else {
+					j.done = j.total
+				}
+			}
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if n := idNum(id); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if !j.state.terminal() {
+			// Recovered jobs re-enter the queue above the admission bound:
+			// they were admitted (and fsynced) before the crash, and
+			// rejecting them now would drop accepted work.
+			s.queue = append(s.queue, j)
+			s.queued++
+			s.recovery++
+		}
+	}
+	s.updateGauges()
+	return nil
+}
+
+func (s *Server) manifestPath() string { return filepath.Join(s.cfg.DataDir, "manifest.wal") }
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", id)
+}
+func (s *Server) resultPath(id string) string { return filepath.Join(s.jobDir(id), "result.bin") }
+func (s *Server) walPath(id string) string    { return filepath.Join(s.jobDir(id), "sweep.wal") }
+
+// idNum parses the numeric suffix of a job id ("j17" → 17), -1 otherwise.
+func idNum(id string) int {
+	if !strings.HasPrefix(id, "j") {
+		return -1
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// updateGauges refreshes the queue-occupancy gauges; callers hold s.mu.
+func (s *Server) updateGauges() {
+	s.reg.Gauge(mJobsQueued).Set(float64(s.queued))
+	active := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	s.reg.Gauge(mJobsActive).Set(float64(active))
+}
+
+// Submit admits a job: version-checks and validates the spec, reserves a
+// queue slot, durably appends the submit record, and returns the new job's
+// status. The error is an *APIError describing the structured rejection
+// (version mismatch, invalid spec, queue full, draining) so both the HTTP
+// layer and in-process callers get the same classification.
+func (s *Server) Submit(spec clocksched.SweepSpec) (JobStatus, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		s.reg.Counter(mRejectedVer).Inc()
+		return JobStatus{}, &APIError{
+			Status:  409,
+			Code:    CodeVersionMismatch,
+			Message: err.Error(),
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		s.reg.Counter(mRejectedSpec).Inc()
+		return JobStatus{}, &APIError{Status: 400, Code: CodeInvalidSpec, Message: err.Error()}
+	}
+	total := cfg.GridSize()
+
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		s.reg.Counter(mRejectedDrn).Inc()
+		return JobStatus{}, &APIError{Status: 503, Code: CodeDraining, Message: "server is draining"}
+	}
+	if s.queued-s.recovery >= s.cfg.MaxQueue {
+		retry := s.cfg.RetryAfter
+		s.mu.Unlock()
+		s.reg.Counter(mRejectedFull).Inc()
+		return JobStatus{}, &APIError{
+			Status:     429,
+			Code:       CodeQueueFull,
+			Message:    fmt.Sprintf("admission queue full (%d waiting)", s.cfg.MaxQueue),
+			RetryAfter: retry,
+		}
+	}
+	id := fmt.Sprintf("j%d", s.nextID)
+	s.nextID++
+	j := &job{
+		id:        id,
+		spec:      spec,
+		dir:       s.jobDir(id),
+		total:     total,
+		state:     StateQueued,
+		subs:      map[chan Event]struct{}{},
+		submitted: time.Now(),
+	}
+
+	// Durable admission: the submit record is fsynced before the job is
+	// acknowledged, so an accepted job survives any crash after this call
+	// returns. A failed append rejects the submission — accepting work we
+	// could lose would be worse than refusing it.
+	rec, err := json.Marshal(manifestRecord{Op: "submit", ID: id, Spec: &spec})
+	if err == nil {
+		if err = s.manifest.Append(rec); err == nil {
+			err = s.manifest.Sync()
+		}
+	}
+	if err != nil {
+		s.nextID-- // the id was never acknowledged
+		s.mu.Unlock()
+		return JobStatus{}, &APIError{Status: 500, Code: CodeInternal,
+			Message: fmt.Sprintf("recording submission: %v", err)}
+	}
+
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, j)
+	s.queued++
+	s.updateGauges()
+	s.cond.Signal()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Cancel requests cancellation: a queued job turns terminal immediately; a
+// running one is cancelled at the next quantum boundary through the sweep
+// context. Cancelling a terminal job is a no-op reporting its final state.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, &APIError{Status: 404, Code: CodeNotFound, Message: "no such job"}
+	}
+	j.mu.Lock()
+	j.cancelled = true
+	cancel := j.cancel
+	state := j.state
+	j.mu.Unlock()
+	s.mu.Unlock()
+
+	switch state {
+	case StateQueued:
+		// The runner discards cancelled queue entries, but turning the job
+		// terminal here makes cancellation immediate and synchronous.
+		s.finishJob(j, StateCancelled, "")
+	case StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return s.Status(id)
+}
+
+// Status reports one job.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, &APIError{Status: 404, Code: CodeNotFound, Message: "no such job"}
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// statusLocked snapshots one job; the caller holds s.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Done:     j.done,
+		Total:    j.total,
+		Replayed: j.replayed,
+		Error:    j.errText,
+	}
+}
+
+// ResultBytes returns a finished job's canonical result envelope.
+func (s *Server) ResultBytes(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &APIError{Status: 404, Code: CodeNotFound, Message: "no such job"}
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != StateDone {
+		return nil, &APIError{Status: 409, Code: CodeNotFinished,
+			Message: fmt.Sprintf("job is %s, result available once done", state)}
+	}
+	b, err := os.ReadFile(s.resultPath(id))
+	if err != nil {
+		return nil, &APIError{Status: 500, Code: CodeInternal, Message: err.Error()}
+	}
+	return b, nil
+}
+
+// subscribe attaches an event channel to the job and returns the current
+// snapshot event; the caller must call unsubscribe. The buffer absorbs
+// progress bursts; if a subscriber falls behind, intermediate progress
+// events are dropped — state transitions are never dropped, because
+// publish retries them synchronously.
+func (s *Server) subscribe(id string) (*job, chan Event, Event, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, Event{}, &APIError{Status: 404, Code: CodeNotFound, Message: "no such job"}
+	}
+	ch := make(chan Event, 64)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	snap := Event{Type: "state", State: j.state, Done: j.done, Total: j.total, Error: j.errText}
+	j.mu.Unlock()
+	return j, ch, snap, nil
+}
+
+func (j *job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// publish fans an event to the job's subscribers without ever blocking: a
+// subscriber that has fallen 64 events behind loses its oldest buffered
+// event to make room for a state transition, and merely misses
+// intermediate progress events — the next one it reads carries the current
+// done-count anyway.
+func (j *job) publish(ev Event) {
+	j.mu.Lock()
+	chans := make([]chan Event, 0, len(j.subs))
+	for ch := range j.subs {
+		chans = append(chans, ch)
+	}
+	j.mu.Unlock()
+	for _, ch := range chans {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		if ev.Type != "state" {
+			continue
+		}
+		select {
+		case <-ch: // shed the oldest buffered event
+		default:
+		}
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// runner is one of MaxActiveJobs job-execution loops.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining && !s.closed {
+			s.cond.Wait()
+		}
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.queued--
+		if s.recovery > 0 {
+			s.recovery--
+		}
+
+		j.mu.Lock()
+		if j.cancelled || j.state.terminal() {
+			// Cancelled while queued (Cancel already finished it) or a
+			// stale entry; skip.
+			j.mu.Unlock()
+			s.updateGauges()
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.runCtx)
+		j.state = StateRunning
+		j.cancel = cancel
+		j.tel = clocksched.NewTelemetry()
+		j.mu.Unlock()
+		s.updateGauges()
+		s.mu.Unlock()
+
+		j.publish(Event{Type: "state", State: StateRunning, Total: j.total})
+		s.execute(ctx, j)
+		cancel()
+	}
+}
+
+// execute runs one job to a terminal state (or back to queued on a drain).
+func (s *Server) execute(ctx context.Context, j *job) {
+	cfg, err := j.spec.Config()
+	if err != nil {
+		// Can only happen if the daemon restarted under a different
+		// sim.Version than the one that admitted the job.
+		s.finishJob(j, StateFailed, err.Error())
+		return
+	}
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		s.finishJob(j, StateFailed, fmt.Sprintf("job dir: %v", err))
+		return
+	}
+
+	cfg.Workers = s.cfg.Workers / s.cfg.MaxActiveJobs
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	cfg.Cache = s.cache
+	cfg.Journal = s.walPath(j.id)
+	// Resume unconditionally: a fresh journal replays nothing, a journal
+	// left by a killed daemon replays every committed cell.
+	cfg.Resume = true
+	cfg.Telemetry = j.tel
+	// The first progress call of a resumed sweep carries the replayed
+	// count (see SweepConfig.Progress), so a restarted job's done-count
+	// starts where the killed daemon left off.
+	cfg.Progress = func(done, total int) {
+		j.mu.Lock()
+		j.done = done
+		j.mu.Unlock()
+		j.publish(Event{Type: "progress", State: StateRunning, Done: done, Total: total})
+		if s.cfg.CellDelay > 0 {
+			select {
+			case <-time.After(s.cfg.CellDelay):
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	res, sweepErr := clocksched.Sweep(ctx, cfg)
+	if res != nil {
+		j.mu.Lock()
+		j.replayed = res.Telemetry.Replayed
+		j.mu.Unlock()
+	}
+
+	j.mu.Lock()
+	userCancel := j.cancelled
+	j.mu.Unlock()
+
+	switch {
+	case sweepErr == nil:
+		enc, err := clocksched.EncodeSweepResult(res)
+		if err == nil {
+			err = writeFileAtomic(s.resultPath(j.id), enc)
+		}
+		if err != nil {
+			s.finishJob(j, StateFailed, fmt.Sprintf("storing result: %v", err))
+			return
+		}
+		s.finishJob(j, StateDone, "")
+	case userCancel:
+		s.finishJob(j, StateCancelled, "")
+	case ctx.Err() != nil:
+		// Shutdown or drain, not the user: the job goes back to queued —
+		// in memory for this process's lifetime, and on the next boot via
+		// its still-non-terminal manifest state. Completed cells are in
+		// the journal; nothing is lost.
+		j.mu.Lock()
+		j.state = StateQueued
+		j.cancel = nil
+		done := j.done
+		j.mu.Unlock()
+		j.publish(Event{Type: "state", State: StateQueued, Done: done, Total: j.total})
+	default:
+		s.finishJob(j, StateFailed, sweepErr.Error())
+	}
+}
+
+// finishJob moves the job to a terminal state, durably records it, and
+// notifies subscribers. The terminal manifest record is appended after the
+// result bytes (if any) are on disk — see the package durability model.
+func (s *Server) finishJob(j *job, state JobState, errText string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.errText = errText
+	j.cancel = nil
+	if state == StateDone {
+		j.done = j.total
+	}
+	done, total := j.done, j.total
+	j.mu.Unlock()
+
+	rec, err := json.Marshal(manifestRecord{Op: "state", ID: j.id, State: state, Error: errText})
+	if err == nil {
+		if err = s.manifest.Append(rec); err == nil {
+			err = s.manifest.Sync()
+		}
+	}
+	if err != nil {
+		// The job re-runs on the next boot; for this process's lifetime
+		// the in-memory state stands.
+		s.reg.Counter(`service_manifest_errors_total`).Inc()
+	}
+
+	switch state {
+	case StateDone:
+		s.reg.Counter(mJobsDone).Inc()
+	case StateFailed:
+		s.reg.Counter(mJobsFailed).Inc()
+	case StateCancelled:
+		s.reg.Counter(mJobsCanceled).Inc()
+	}
+	s.mu.Lock()
+	s.updateGauges()
+	s.mu.Unlock()
+	j.publish(Event{Type: "state", State: state, Done: done, Total: total, Error: errText})
+}
+
+// Drain gracefully winds the server down: admission stops (503), runners
+// finish their current jobs, and still-queued jobs are left durably queued
+// for the next boot. If ctx expires first, running jobs are cancelled —
+// their completed cells are journaled, so the next boot resumes them.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		s.cancelRun()
+		<-finished
+	}
+	return s.closeManifest()
+}
+
+// Close hard-stops the server: running jobs are cancelled at the next
+// quantum boundary and re-queued durably, then the manifest is closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cancelRun()
+	s.wg.Wait()
+	return s.closeManifest()
+}
+
+func (s *Server) closeManifest() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.manifest.Close()
+}
+
+// writeFileAtomic writes bytes via a same-directory temp file, fsync, and
+// rename, so the destination is never observable half-written.
+func writeFileAtomic(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(b)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// scopes snapshots the metric export set: the service registry plus every
+// job's registry labelled job="<id>", in stable id order.
+func (s *Server) scopes() []telemetry.Scoped {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := []telemetry.Scoped{{Reg: s.reg}}
+	ids := append([]string(nil), s.order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs[id]
+		j.mu.Lock()
+		tel := j.tel
+		j.mu.Unlock()
+		if tel != nil {
+			out = append(out, telemetry.Scoped{
+				Labels: `job="` + id + `"`,
+				Reg:    tel.Registry(),
+			})
+		}
+	}
+	return out
+}

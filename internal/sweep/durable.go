@@ -132,9 +132,18 @@ type CellJournal struct {
 	done      map[string]string // cache key → result hash
 	recovered int               // records recovered at open
 	torn      bool              // open found (and truncated) a torn tail
+	compacted bool              // open rewrote the log down to live records
 
 	tel atomic.Pointer[journalTel]
 }
+
+// CompactThreshold is the resumed-journal size (bytes of valid prefix)
+// above which OpenCellJournal rewrites the log down to one record per live
+// cell. Long-lived journals accumulate duplicate commits — cache hits
+// re-journal, re-runs re-commit — and replaying an unbounded log on every
+// resume is wasted work. A var, not a const, so tests (and unusual
+// deployments) can lower it.
+var CompactThreshold int64 = 1 << 20
 
 // journalTel bundles the journal's pre-resolved instruments.
 type journalTel struct {
@@ -147,9 +156,17 @@ type journalTel struct {
 // report what was found. A record that passes the framing checksum but is
 // not a valid cell record means the file is some other journal (or a format
 // break) and fails the open rather than silently resuming wrong.
+//
+// A resumed journal whose valid prefix exceeds CompactThreshold is
+// compacted before appending resumes: the log is atomically rewritten with
+// one record per live cell (latest hash, first-commit order), dropping
+// duplicate commits and the already-truncated tail. Compaction preserves
+// exactly the recovered cell set — it changes the file, never the
+// semantics — and Compacted reports that it happened.
 func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
 	done := map[string]string{}
-	w, stats, err := journal.Open(path, resume, func(p []byte) error {
+	var order []string // first-commit order of distinct keys
+	parse := func(p []byte) error {
 		var rec cellRecord
 		if err := json.Unmarshal(p, &rec); err != nil {
 			return fmt.Errorf("sweep: journal %s: bad cell record: %w", path, err)
@@ -157,13 +174,43 @@ func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
 		if rec.K == "" || rec.H == "" {
 			return fmt.Errorf("sweep: journal %s: cell record missing key or hash", path)
 		}
+		if _, seen := done[rec.K]; !seen {
+			order = append(order, rec.K)
+		}
 		done[rec.K] = rec.H
 		return nil
-	})
+	}
+
+	var torn, compacted bool
+	if resume {
+		stats, err := journal.ReplayFile(path, parse)
+		if err != nil {
+			return nil, err
+		}
+		torn = stats.Torn
+		if stats.ValidBytes > CompactThreshold {
+			payloads := make([][]byte, 0, len(order))
+			for _, k := range order {
+				rec, err := json.Marshal(cellRecord{K: k, H: done[k]})
+				if err != nil {
+					return nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+				}
+				payloads = append(payloads, rec)
+			}
+			if err := journal.Rewrite(path, payloads); err != nil {
+				return nil, fmt.Errorf("sweep: compacting journal %s: %w", path, err)
+			}
+			compacted = true
+		}
+	}
+
+	// The records are already parsed (or the log is fresh); the second scan
+	// inside Open just finds the append offset and drops any torn tail.
+	w, _, err := journal.Open(path, resume, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &CellJournal{w: w, done: done, recovered: len(done), torn: stats.Torn}, nil
+	return &CellJournal{w: w, done: done, recovered: len(done), torn: torn, compacted: compacted}, nil
 }
 
 // Instrument attaches commit/error counters and publishes the recovery
@@ -183,14 +230,17 @@ func (jr *CellJournal) Instrument(reg *telemetry.Registry) {
 		errs:    reg.Counter(telemetry.MJournalErrors),
 	})
 	jr.mu.Lock()
-	recovered, torn := jr.recovered, jr.torn
+	recovered, torn, compacted := jr.recovered, jr.torn, jr.compacted
 	jr.mu.Unlock()
 	reg.Gauge(telemetry.MJournalRecovered).Set(float64(recovered))
-	tornV := 0.0
-	if torn {
-		tornV = 1
+	flag := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
 	}
-	reg.Gauge(telemetry.MJournalTornTail).Set(tornV)
+	reg.Gauge(telemetry.MJournalTornTail).Set(flag(torn))
+	reg.Gauge(telemetry.MJournalCompacted).Set(flag(compacted))
 }
 
 // Recovered reports how many completed-cell records the open replayed.
@@ -211,6 +261,17 @@ func (jr *CellJournal) Torn() bool {
 	jr.mu.Lock()
 	defer jr.mu.Unlock()
 	return jr.torn
+}
+
+// Compacted reports whether the open rewrote an oversized resumed journal
+// down to its live records.
+func (jr *CellJournal) Compacted() bool {
+	if jr == nil {
+		return false
+	}
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	return jr.compacted
 }
 
 // Completed reports the recorded result hash for a cache key, if the cell

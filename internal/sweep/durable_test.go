@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -257,6 +258,86 @@ func TestJournalCommitAndResumeReplays(t *testing.T) {
 	}
 }
 
+// TestResumeProgressStartsAtReplayedCount pins the resume-aware progress
+// contract: a resumed sweep announces its replayed cells in one initial
+// OnProgress call — done starts at the replayed count — and the workers
+// report only the remaining cells.
+func TestResumeProgressStartsAtReplayedCount(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "sweep.wal")
+	cacheDir := filepath.Join(dir, "cache")
+
+	mk := func() []Job {
+		jobs := make([]Job, 6)
+		for i := range jobs {
+			jobs[i] = Job{
+				Key: fmt.Sprintf("cell-%d", i),
+				Run: func(context.Context) (any, error) { return i * 7, nil },
+			}
+		}
+		return jobs
+	}
+
+	// First process: run only the first four cells (a truncated grid), as
+	// an interrupted sweep would have.
+	c1, err := NewCache(8, cacheDir, jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr1, err := OpenCellJournal(wal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), mk()[:4], Options{Workers: 2, Cache: c1, Journal: jr1}); err != nil {
+		t.Fatal(err)
+	}
+	jr1.Close()
+
+	// Second process: resume over the full grid.
+	c2, err := NewCache(8, cacheDir, jsonCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr2, err := OpenCellJournal(wal, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Close()
+
+	var mu sync.Mutex
+	var calls [][2]int
+	_, err = Run(context.Background(), mk(), Options{
+		Workers: 2, Cache: c2, Journal: jr2,
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			calls = append(calls, [2]int{done, total})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("no progress calls")
+	}
+	if calls[0] != [2]int{4, 6} {
+		t.Fatalf("first progress call %v, want [4 6]: resumed done-count must start at the replayed count", calls[0])
+	}
+	if len(calls) != 3 {
+		t.Fatalf("%d progress calls, want 3 (1 replay batch + 2 fresh cells): %v", len(calls), calls)
+	}
+	seen := map[int]bool{}
+	for _, c := range calls {
+		if c[1] != 6 || seen[c[0]] {
+			t.Fatalf("bad progress sequence %v", calls)
+		}
+		seen[c[0]] = true
+	}
+	if !seen[6] {
+		t.Fatalf("final call never reported done == total: %v", calls)
+	}
+}
+
 func TestJournalHashMismatchReruns(t *testing.T) {
 	dir := t.TempDir()
 	wal := filepath.Join(dir, "sweep.wal")
@@ -385,6 +466,99 @@ func TestCellJournalTornTailRecovery(t *testing.T) {
 	// The truncated journal accepts new commits.
 	if err := re.Commit("b", []byte("payload-b")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCellJournalCompactionRoundTrip drives the full life cycle the
+// compaction path exists for: a log bloated by duplicate commits loses its
+// tail to a crash, resume compacts it, and the compacted log carries the
+// identical live-cell set through further commits and another resume.
+func TestCellJournalCompactionRoundTrip(t *testing.T) {
+	defer func(v int64) { CompactThreshold = v }(CompactThreshold)
+
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "sweep.wal")
+	jr, err := OpenCellJournal(wal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate commits: every key committed three times, "k1" with a
+	// changed payload so compaction must keep the latest hash.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			key := fmt.Sprintf("k%d", i)
+			payload := []byte("payload-" + key)
+			if round == 2 && i == 1 {
+				payload = []byte("payload-k1-final")
+			}
+			// Force re-append on changed hash by clearing the dedupe entry.
+			jr.mu.Lock()
+			delete(jr.done, key)
+			jr.mu.Unlock()
+			if err := jr.Commit(key, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	jr.Close()
+
+	// Crash damage: chop into the last record.
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bloated := info.Size()
+	if err := os.Truncate(wal, bloated-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume over the threshold: torn tail dropped, log rewritten.
+	CompactThreshold = 64
+	re, err := OpenCellJournal(wal, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Compacted() || !re.Torn() {
+		t.Fatalf("compacted %v torn %v, want true/true", re.Compacted(), re.Torn())
+	}
+	if re.Recovered() != 8 {
+		t.Fatalf("recovered %d live cells, want 8", re.Recovered())
+	}
+	if h, ok := re.Completed("k1"); !ok || h != hashBytes([]byte("payload-k1-final")) {
+		t.Fatal("compaction lost the latest hash for a re-committed cell")
+	}
+	info, err = os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= bloated {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", bloated, info.Size())
+	}
+	// The compacted log accepts fresh commits.
+	if err := re.Commit("k8", []byte("payload-k8")); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+
+	// Round trip: a small compacted log resumes clean — no tear, no
+	// re-compaction — with every cell intact.
+	CompactThreshold = 1 << 20
+	again, err := OpenCellJournal(wal, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Torn() || again.Compacted() {
+		t.Fatalf("torn %v compacted %v after clean reopen, want false/false",
+			again.Torn(), again.Compacted())
+	}
+	if again.Recovered() != 9 {
+		t.Fatalf("recovered %d cells after compaction round trip, want 9", again.Recovered())
+	}
+	for i := 0; i < 9; i++ {
+		if _, ok := again.Completed(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("cell k%d lost across compaction round trip", i)
+		}
 	}
 }
 

@@ -49,7 +49,10 @@ type Options struct {
 	// just re-runs the cell.
 	Cache *Cache
 	// OnProgress, when non-nil, is called after each cell completes (hit,
-	// run, or failed) with the number done and the grid total. Calls may
+	// run, or failed) with the number done and the grid total. A resumed
+	// sweep reports its journal-replayed cells in one initial call before
+	// any worker starts, so done-counts begin at the replayed count rather
+	// than rediscovering completed work one cell at a time. Calls may
 	// run concurrently from multiple workers and completions may be
 	// reported out of order, but each call carries a distinct done count
 	// and the final cell always reports done == total; the callback must
@@ -168,10 +171,41 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		busy, peak atomic.Int64
 	)
 
+	// Resume prescan: every cell the journal proves complete — and the
+	// cache still verifies — is resolved before the pool starts, reported
+	// through one initial OnProgress call. A resumed sweep's done-count
+	// therefore begins at the replayed-cell count instead of rediscovering
+	// finished work one worker pull at a time, and the workers only ever
+	// touch cells with real work left.
+	skip := make([]bool, len(jobs))
+	if opts.Journal != nil && opts.Cache != nil {
+		for i, j := range jobs {
+			if j.Key == "" {
+				continue
+			}
+			h, ok := opts.Journal.Completed(j.Key)
+			if !ok {
+				continue
+			}
+			if v, enc, hit, err := opts.Cache.GetWithBytes(j.Key); err == nil && hit && hashBytes(enc) == h {
+				out[i] = Outcome{Value: v, Cached: true, Replayed: true}
+				ran[i], skip[i] = true, true
+				done++
+				telReplayed.Inc()
+			}
+		}
+		if done > 0 && opts.OnProgress != nil {
+			opts.OnProgress(done, len(jobs))
+		}
+	}
+
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
 		for i := range jobs {
+			if skip[i] {
+				continue
+			}
 			select {
 			case idx <- i:
 			case <-runCtx.Done():

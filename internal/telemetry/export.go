@@ -94,13 +94,51 @@ func withLabels(base string, pairs ...string) string {
 	return base + "{" + strings.Join(kept, ",") + "}"
 }
 
+// Scoped pairs a registry with extra label pairs (e.g. `job="j42"`)
+// injected into every series it exports. A multi-tenant process — the
+// sweep daemon with one registry per job — exports all its registries
+// through WritePrometheusAll as one well-formed page.
+type Scoped struct {
+	// Labels is a comma-joined list of label pairs, each already in
+	// Prometheus form (`job="j42"`), or "" for no extra labels.
+	Labels string
+	Reg    *Registry
+}
+
 // WritePrometheus writes every instrument in the Prometheus text exposition
 // format (version 0.0.4): counters, gauges, and histograms with cumulative
 // _bucket/_sum/_count series. Names are emitted in sorted order so the
 // output is deterministic; labelled series share one TYPE line per base
 // name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	s := r.Snapshot()
+	return WritePrometheusAll(w, Scoped{Reg: r})
+}
+
+// WritePrometheusAll merges the scoped registries into a single Prometheus
+// text page: each scope's extra labels are appended to its series names,
+// the merged series are emitted in sorted order, and each base name gets
+// exactly one TYPE line even when several scopes export it — the property
+// the exposition format requires and naive page concatenation violates.
+// Series that collide after labelling keep the last scope's value, so give
+// scopes distinguishing labels.
+func WritePrometheusAll(w io.Writer, scopes ...Scoped) error {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, sc := range scopes {
+		snap := sc.Reg.Snapshot()
+		for n, v := range snap.Counters {
+			s.Counters[withLabels(baseName(n), labels(n), sc.Labels)] = v
+		}
+		for n, v := range snap.Gauges {
+			s.Gauges[withLabels(baseName(n), labels(n), sc.Labels)] = v
+		}
+		for n, v := range snap.Histograms {
+			s.Histograms[withLabels(baseName(n), labels(n), sc.Labels)] = v
+		}
+	}
 
 	typed := map[string]bool{} // base names whose TYPE line was written
 	writeType := func(base, kind string) error {

@@ -72,6 +72,7 @@ const (
 	MJournalErrors      = "sweep_journal_errors_total"
 	MJournalRecovered   = "sweep_journal_recovered_cells"
 	MJournalTornTail    = "sweep_journal_torn_tail"
+	MJournalCompacted   = "sweep_journal_compacted"
 	// event spill (spill.go)
 	MEventsSpilled    = "telemetry_events_spilled_total"
 	MEventSpillErrors = "telemetry_event_spill_errors_total"

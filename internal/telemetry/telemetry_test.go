@@ -184,6 +184,54 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestPrometheusScopedMerge pins the multi-registry export: every scope's
+// label is injected into its series (including inside existing label
+// blocks and histogram le labels), and a base name exported by several
+// scopes still gets exactly one TYPE line.
+func TestPrometheusScopedMerge(t *testing.T) {
+	mk := func(cached, run int64, obs float64) *Registry {
+		r := New()
+		r.Counter(`cells_total{result="cached"}`).Add(cached)
+		r.Counter(`cells_total{result="run"}`).Add(run)
+		r.Histogram("util", []float64{1}).Observe(obs)
+		return r
+	}
+	a, b := mk(1, 2, 0.5), mk(3, 4, 2)
+	shared := New()
+	shared.Gauge("jobs_active").Set(2)
+
+	var out bytes.Buffer
+	err := WritePrometheusAll(&out,
+		Scoped{Reg: shared},
+		Scoped{Labels: `job="a"`, Reg: a},
+		Scoped{Labels: `job="b"`, Reg: b},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE cells_total counter`,
+		`cells_total{result="cached",job="a"} 1`,
+		`cells_total{result="cached",job="b"} 3`,
+		`cells_total{result="run",job="a"} 2`,
+		`cells_total{result="run",job="b"} 4`,
+		`# TYPE jobs_active gauge`,
+		`jobs_active 2`,
+		`# TYPE util histogram`,
+		`util_bucket{job="a",le="1"} 1`,
+		`util_bucket{job="a",le="+Inf"} 1`,
+		`util_sum{job="a"} 0.5`,
+		`util_count{job="a"} 1`,
+		`util_bucket{job="b",le="1"} 0`,
+		`util_bucket{job="b",le="+Inf"} 1`,
+		`util_sum{job="b"} 2`,
+		`util_count{job="b"} 1`,
+	}, "\n") + "\n"
+	if got := out.String(); got != want {
+		t.Errorf("scoped output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestJSONSnapshotRoundTrips(t *testing.T) {
 	r := New()
 	r.Counter("c").Add(7)

@@ -1,0 +1,290 @@
+package clocksched
+
+// The sweep wire formats: a JSON job specification (SweepSpec) that lets a
+// sweep cross a process boundary — a client submits the spec, the sweep
+// daemon reconstructs and runs it — and a canonical binary envelope for a
+// completed SweepResult. Both carry sim.Version, so a spec or result
+// produced against one behavioural revision of the simulator can never be
+// silently mixed with another: the daemon rejects mismatched specs, and
+// cached or journaled results are already keyed on the version.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"clocksched/internal/sim"
+)
+
+// SimVersion reports the behavioural revision of the simulation module
+// (e.g. "clocksched-sim/3"). Every sweep cache key, journal commit, result
+// envelope, and job spec is bound to it; two processes interoperate only
+// when their versions match exactly.
+func SimVersion() string { return sim.Version }
+
+// ErrVersionMismatch marks a SweepSpec whose embedded simulation version
+// does not exactly match this process's SimVersion. Callers holding such a
+// spec must not run it here: the measurement path changed between the two
+// revisions, so its results would be incomparable with (and could poison
+// caches shared with) the version that authored the spec.
+var ErrVersionMismatch = errors.New("clocksched: sweep spec simulation version mismatch")
+
+// Duration is the JSON wire form of a time.Duration: it encodes as a Go
+// duration string ("60s", "33ms") and decodes from either that form or an
+// integer nanosecond count, so hand-written job specs stay readable while
+// machine-generated ones round-trip exactly.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("clocksched: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Std converts to the standard library representation.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// CellSpec is the serializable form of one cell's Config: everything that
+// determines the measurement, nothing that belongs to the runtime (the
+// live Telemetry registry does not travel).
+type CellSpec struct {
+	Workload      Workload        `json:"workload,omitempty"`
+	Policy        Policy          `json:"policy"`
+	Seed          uint64          `json:"seed,omitempty"`
+	Duration      Duration        `json:"duration,omitempty"`
+	DeadlineSlack Duration        `json:"deadline_slack,omitempty"`
+	CaptureTrace  bool            `json:"capture_trace,omitempty"`
+	Faults        *FaultPlan      `json:"faults,omitempty"`
+	Watchdog      *WatchdogConfig `json:"watchdog,omitempty"`
+}
+
+// newCellSpec projects a Config onto its wire form.
+func newCellSpec(c Config) CellSpec {
+	return CellSpec{
+		Workload:      c.Workload,
+		Policy:        c.Policy,
+		Seed:          c.Seed,
+		Duration:      Duration(c.Duration),
+		DeadlineSlack: Duration(c.DeadlineSlack),
+		CaptureTrace:  c.CaptureTrace,
+		Faults:        c.Faults,
+		Watchdog:      c.Watchdog,
+	}
+}
+
+// config reverses newCellSpec.
+func (cs CellSpec) config() Config {
+	return Config{
+		Workload:      cs.Workload,
+		Policy:        cs.Policy,
+		Seed:          cs.Seed,
+		Duration:      cs.Duration.Std(),
+		DeadlineSlack: cs.DeadlineSlack.Std(),
+		CaptureTrace:  cs.CaptureTrace,
+		Faults:        cs.Faults,
+		Watchdog:      cs.Watchdog,
+	}
+}
+
+// SweepSpec is the declarative, JSON-serializable form of a sweep: the
+// grid axes (or explicit cells), the shared cell settings, and the
+// failure-handling knobs, stamped with the simulation version that
+// authored it. It deliberately excludes execution resources — workers,
+// caches, journals, progress callbacks, telemetry — which belong to
+// whichever process runs the spec.
+//
+// Build one with NewSweepSpec, ship it as JSON, and turn it back into a
+// runnable SweepConfig with Config, which enforces the version stamp.
+type SweepSpec struct {
+	// SimVersion must equal the running process's SimVersion() for Config
+	// to accept the spec; NewSweepSpec stamps it automatically.
+	SimVersion string `json:"sim_version"`
+
+	// Workloads, Policies, and Seeds are the grid axes, with the same
+	// semantics as SweepConfig.
+	Workloads []Workload `json:"workloads,omitempty"`
+	Policies  []Policy   `json:"policies,omitempty"`
+	Seeds     []uint64   `json:"seeds,omitempty"`
+
+	// Duration, DeadlineSlack, CaptureTrace, Faults, and Watchdog apply
+	// to every axis-built cell.
+	Duration      Duration        `json:"duration,omitempty"`
+	DeadlineSlack Duration        `json:"deadline_slack,omitempty"`
+	CaptureTrace  bool            `json:"capture_trace,omitempty"`
+	Faults        *FaultPlan      `json:"faults,omitempty"`
+	Watchdog      *WatchdogConfig `json:"watchdog,omitempty"`
+
+	// Cells, when non-empty, is the explicit grid; the axes above are
+	// ignored.
+	Cells []CellSpec `json:"cells,omitempty"`
+
+	// FailFast, CellTimeout, Retries, and RetryBase mirror SweepConfig.
+	FailFast    bool     `json:"fail_fast,omitempty"`
+	CellTimeout Duration `json:"cell_timeout,omitempty"`
+	Retries     int      `json:"retries,omitempty"`
+	RetryBase   Duration `json:"retry_base,omitempty"`
+}
+
+// NewSweepSpec captures the declarative subset of a SweepConfig and stamps
+// it with the current simulation version. Runtime-only fields (Workers,
+// Cache, Progress, Telemetry, Journal, Resume) are dropped: the spec
+// describes what to measure, not how the runner schedules it.
+func NewSweepSpec(cfg SweepConfig) SweepSpec {
+	s := SweepSpec{
+		SimVersion:    sim.Version,
+		Workloads:     append([]Workload(nil), cfg.Workloads...),
+		Policies:      append([]Policy(nil), cfg.Policies...),
+		Seeds:         append([]uint64(nil), cfg.Seeds...),
+		Duration:      Duration(cfg.Duration),
+		DeadlineSlack: Duration(cfg.DeadlineSlack),
+		CaptureTrace:  cfg.CaptureTrace,
+		Faults:        cfg.Faults,
+		Watchdog:      cfg.Watchdog,
+		FailFast:      cfg.FailFast,
+		CellTimeout:   Duration(cfg.CellTimeout),
+		Retries:       cfg.Retries,
+		RetryBase:     Duration(cfg.RetryBase),
+	}
+	for _, c := range cfg.Cells {
+		s.Cells = append(s.Cells, newCellSpec(c))
+	}
+	return s
+}
+
+// Config converts the spec into a runnable SweepConfig after checking the
+// version stamp: a spec authored under any other simulation revision —
+// including one with no stamp at all — fails with ErrVersionMismatch, so
+// results from different measurement paths can never mix. The returned
+// configuration still needs its runtime fields (Workers, Cache, Journal,
+// …) filled in by the caller, and is validated by Sweep as usual.
+func (s SweepSpec) Config() (SweepConfig, error) {
+	if s.SimVersion != sim.Version {
+		return SweepConfig{}, fmt.Errorf("%w: spec %q, this process %q",
+			ErrVersionMismatch, s.SimVersion, sim.Version)
+	}
+	cfg := SweepConfig{
+		Workloads:     append([]Workload(nil), s.Workloads...),
+		Policies:      append([]Policy(nil), s.Policies...),
+		Seeds:         append([]uint64(nil), s.Seeds...),
+		Duration:      s.Duration.Std(),
+		DeadlineSlack: s.DeadlineSlack.Std(),
+		CaptureTrace:  s.CaptureTrace,
+		Faults:        s.Faults,
+		Watchdog:      s.Watchdog,
+		FailFast:      s.FailFast,
+		CellTimeout:   s.CellTimeout.Std(),
+		Retries:       s.Retries,
+		RetryBase:     s.RetryBase.Std(),
+	}
+	for _, cs := range s.Cells {
+		cfg.Cells = append(cfg.Cells, cs.config())
+	}
+	return cfg, nil
+}
+
+// sweepCellEnvelope is one cell of the canonical SweepResult wire form:
+// the resolved cell spec plus either the cell's canonically encoded Result
+// or its error text.
+type sweepCellEnvelope struct {
+	Spec   CellSpec
+	Result []byte
+	Error  string
+}
+
+// sweepResultEnvelope is the canonical serialization of a whole
+// SweepResult. It covers the measurement content only — grid shape, each
+// cell's resolved configuration, result bytes, and error — and excludes
+// runtime provenance (cache/replay flags, attempt counts, pool
+// telemetry), so a resumed, cached, or remotely executed sweep of a spec
+// encodes byte-identically to an uninterrupted local run of the same
+// spec.
+type sweepResultEnvelope struct {
+	SimVersion string
+	NW, NP, NS int
+	Cells      []sweepCellEnvelope
+}
+
+// EncodeSweepResult serializes the sweep result canonically: equal
+// measurement content produces equal bytes, whatever mix of fresh runs,
+// cache hits, and journal replays produced it. The sweep service stores
+// and serves these bytes; DecodeSweepResult reverses them.
+func EncodeSweepResult(r *SweepResult) ([]byte, error) {
+	env := sweepResultEnvelope{
+		SimVersion: sim.Version,
+		NW:         r.nw, NP: r.np, NS: r.ns,
+		Cells: make([]sweepCellEnvelope, len(r.Cells)),
+	}
+	for i, c := range r.Cells {
+		ce := sweepCellEnvelope{Spec: newCellSpec(c.Config)}
+		switch {
+		case c.Err != nil:
+			ce.Error = c.Err.Error()
+		case c.Result != nil:
+			enc, err := encodeResult(c.Result)
+			if err != nil {
+				return nil, fmt.Errorf("clocksched: encoding cell %d: %w", i, err)
+			}
+			ce.Result = enc
+		}
+		env.Cells[i] = ce
+	}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(env); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeSweepResult reverses EncodeSweepResult. Cell errors come back as
+// plain errors carrying the original text (their concrete types do not
+// cross the wire), and runtime provenance — Cached/Replayed/Attempts and
+// the pool telemetry — is zero, because the envelope never carried it.
+func DecodeSweepResult(b []byte) (*SweepResult, error) {
+	var env sweepResultEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("clocksched: decoding sweep result: %w", err)
+	}
+	r := &SweepResult{
+		Cells: make([]SweepCell, len(env.Cells)),
+		nw:    env.NW, np: env.NP, ns: env.NS,
+	}
+	for i, ce := range env.Cells {
+		cell := SweepCell{Config: ce.Spec.config()}
+		switch {
+		case ce.Error != "":
+			cell.Err = errors.New(ce.Error)
+		case ce.Result != nil:
+			res, err := decodeResult(ce.Result)
+			if err != nil {
+				return nil, fmt.Errorf("clocksched: decoding cell %d: %w", i, err)
+			}
+			cell.Result = res
+		}
+		r.Cells[i] = cell
+	}
+	return r, nil
+}

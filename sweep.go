@@ -52,7 +52,9 @@ type SweepConfig struct {
 	// content-addressed result cache instead of re-simulating them.
 	Cache *SweepCache
 	// Progress, when non-nil, is called after each cell completes (run,
-	// cache hit, or failure) with the number done and the grid total. Calls
+	// cache hit, or failure) with the number done and the grid total. A
+	// resumed sweep reports its journal-replayed cells in one initial call,
+	// so done-counts start at the replayed count instead of zero. Calls
 	// may run concurrently and out of order, but each carries a distinct
 	// done count and the final one reports done == total; the callback runs
 	// outside the pool's internal lock, so it may block — or run further
@@ -286,21 +288,25 @@ func (cfg SweepConfig) grid() ([]Config, int, int, int) {
 	return cells, len(ws), len(ps), len(seeds)
 }
 
-// Sweep executes the batch. Every cell is validated before anything runs,
-// so a malformed grid fails fast with every problem joined into one error.
-//
-// Under FailFast a cell failure aborts the sweep and Sweep returns (nil,
-// err). Otherwise every cell runs, per-cell failures land in
-// SweepResult.Cells[i].Err, and the returned error is their errors.Join —
-// a non-nil SweepResult alongside a non-nil error means a partial sweep.
-// Cancelling the context aborts outstanding cells at their next quantum
-// boundary; the returned error then satisfies errors.Is(err, ctx.Err()).
-func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
-	cells, nw, np, ns := cfg.grid()
-	if len(cells) == 0 {
-		return nil, fmt.Errorf("clocksched: empty sweep grid")
-	}
+// GridSize reports how many cells the sweep will run: the axis cross
+// product, or the explicit Cells length. Zero means an empty (invalid)
+// grid.
+func (cfg SweepConfig) GridSize() int {
+	cells, _, _, _ := cfg.grid()
+	return len(cells)
+}
+
+// Validate checks the whole sweep configuration eagerly — every cell of
+// the expanded grid plus the durability and retry knobs — and reports all
+// problems at once via errors.Join. Sweep calls it before anything runs;
+// the sweep service calls it at admission so a malformed job is rejected
+// at submit time instead of after it is queued.
+func (cfg SweepConfig) Validate() error {
+	cells, _, _, _ := cfg.grid()
 	var verrs []error
+	if len(cells) == 0 {
+		verrs = append(verrs, fmt.Errorf("clocksched: empty sweep grid"))
+	}
 	for i, c := range cells {
 		if err := c.Validate(); err != nil {
 			verrs = append(verrs, fmt.Errorf("cell %d (%s, %s): %w",
@@ -322,9 +328,23 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if cfg.RetryBase < 0 {
 		verrs = append(verrs, fmt.Errorf("clocksched: negative RetryBase %v", cfg.RetryBase))
 	}
-	if err := errors.Join(verrs...); err != nil {
+	return errors.Join(verrs...)
+}
+
+// Sweep executes the batch. Every cell is validated before anything runs,
+// so a malformed grid fails fast with every problem joined into one error.
+//
+// Under FailFast a cell failure aborts the sweep and Sweep returns (nil,
+// err). Otherwise every cell runs, per-cell failures land in
+// SweepResult.Cells[i].Err, and the returned error is their errors.Join —
+// a non-nil SweepResult alongside a non-nil error means a partial sweep.
+// Cancelling the context aborts outstanding cells at their next quantum
+// boundary; the returned error then satisfies errors.Is(err, ctx.Err()).
+func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cells, nw, np, ns := cfg.grid()
 
 	var jr *sweep.CellJournal
 	if cfg.Journal != "" {

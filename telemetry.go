@@ -84,6 +84,7 @@ func NewTelemetry() *Telemetry {
 	reg.Gauge(telemetry.MSweepWorkersPeak)
 	reg.Gauge(telemetry.MJournalRecovered)
 	reg.Gauge(telemetry.MJournalTornTail)
+	reg.Gauge(telemetry.MJournalCompacted)
 	reg.Histogram(telemetry.MKernelQuantumUtil, telemetry.UtilBuckets)
 	reg.Timer(telemetry.MSweepCellSeconds)
 	reg.Histogram(telemetry.MCacheGetHitSecs, telemetry.SecondsBuckets)
@@ -100,6 +101,15 @@ func (t *Telemetry) registry() *telemetry.Registry {
 		return nil
 	}
 	return t.reg
+}
+
+// Registry exposes the underlying instrument registry for in-module
+// consumers — the sweep service scopes one registry per job and merges
+// them onto a single /metrics page via telemetry.WritePrometheusAll.
+// Nil-safe: a nil *Telemetry yields a nil registry, which every registry
+// method accepts as "instrumentation off".
+func (t *Telemetry) Registry() *telemetry.Registry {
+	return t.registry()
 }
 
 // Serve starts an HTTP listener on addr (e.g. ":8080", or ":0" for an
