@@ -3,11 +3,12 @@
 # fuzz smokes of the trace parser, the journal replayer, and the job-spec
 # decoder, the kernel stress tests under -race, the parallel-sweep
 # determinism proof under -race, the durability (checkpoint/resume/retry)
-# suite under -race, and the sweep-service suite under -race.
+# suite under -race, the sweep-service suite under -race, and the service
+# chaos harness (seeded disk faults + kill/restart) under -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race bench-sweep
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race bench-sweep
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
 	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=10s ./internal/service/
+	$(GO) test -run=^$$ -fuzz=FuzzTokenFileParse -fuzztime=10s ./internal/service/
 
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
@@ -54,10 +56,20 @@ durability-race:
 service-race:
 	$(GO) test -race -count=1 -v ./internal/service/
 
-# Serial vs parallel wall time of the full Table 2 grid, recorded to
-# BENCH_sweep.json (also verifies the merges are identical).
+# The service chaos harness under the race detector: seeded disk faults
+# under every journal, manifest, and result write, across restarts,
+# SIGKILLs, preemptions, and retention passes — every job must end
+# byte-identical to a clean run or with a structured failure, and the
+# manifest compaction raced against live submissions.
+chaos-race:
+	$(GO) test -race -count=1 -run 'Chaos|CompactionRace|GC|Preempt|EventsSurvive' -v ./internal/service/
+	$(GO) test -race -count=1 -v ./internal/fault/
+
+# Worker-count ladder (1/2/4/NumCPU) over the full Table 2 grid, recorded
+# to BENCH_sweep.json (also verifies every merge against the serial
+# baseline).
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race
 	@echo "check: all tiers passed"

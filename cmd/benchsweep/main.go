@@ -1,13 +1,14 @@
 // Command benchsweep times the full Table 2 measurement grid — five
 // policies × ten seeds of the 60-second MPEG workload — through the public
-// Sweep API, first serially and then across the worker pool, verifies the
-// two merges produced identical results, and records the wall times to a
-// JSON file for the repo's benchmark history.
+// Sweep API at a ladder of worker counts (1, 2, 4, NumCPU, plus -workers
+// if it names another count), verifies every merge against the serial
+// baseline, and records per-count throughput to a JSON file for the
+// repo's benchmark history.
 //
 // Usage:
 //
-//	benchsweep                     # BENCH_sweep.json, GOMAXPROCS workers
-//	benchsweep -workers 4 -out BENCH_sweep.json
+//	benchsweep                     # BENCH_sweep.json, 1/2/4/NumCPU ladder
+//	benchsweep -workers 8 -out BENCH_sweep.json
 package main
 
 import (
@@ -18,22 +19,29 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"sort"
 	"time"
 
 	"clocksched"
 )
 
+// run is one timed leg of the ladder.
+type run struct {
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical"`
+}
+
 // report is the schema of BENCH_sweep.json.
 type report struct {
-	Grid            string  `json:"grid"`
-	Cells           int     `json:"cells"`
-	Workers         int     `json:"workers"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	NumCPU          int     `json:"num_cpu"`
-	SerialSeconds   float64 `json:"serial_seconds"`
-	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
-	Identical       bool    `json:"identical"`
+	Grid          string  `json:"grid"`
+	Cells         int     `json:"cells"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
+	SerialSeconds float64 `json:"serial_seconds"`
+	Runs          []run   `json:"runs"`
 }
 
 func table2Config(workers int) clocksched.SweepConfig {
@@ -59,82 +67,104 @@ func table2Config(workers int) clocksched.SweepConfig {
 	}
 }
 
-func run(workers int) (*clocksched.SweepResult, time.Duration, error) {
-	start := time.Now()
-	res, err := clocksched.Sweep(context.Background(), table2Config(workers))
-	return res, time.Since(start), err
+// ladder is the deduplicated, ascending worker-count schedule.
+func ladder(extra int) []int {
+	counts := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	if extra > 0 {
+		counts[extra] = true
+	}
+	var out []int
+	for w := range counts {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func main() {
 	var (
 		out         = flag.String("out", "BENCH_sweep.json", "report file")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count")
-		cache       = flag.String("cache", "", "cell cache directory for the parallel leg (empty disables)")
-		journal     = flag.String("journal", "", "durable cell journal for the parallel leg (needs -cache)")
+		workers     = flag.Int("workers", 0, "extra worker count added to the 1/2/4/NumCPU ladder (0 adds none)")
+		cache       = flag.String("cache", "", "cell cache directory for the final ladder leg (empty disables)")
+		journal     = flag.String("journal", "", "durable cell journal for the final ladder leg (needs -cache)")
 		resume      = flag.Bool("resume", false, "replay cells already committed to -journal")
 		cellTimeout = flag.Duration("cell-timeout", 0,
-			"wall-clock budget per cell attempt on the parallel leg (0 disables)")
+			"wall-clock budget per cell attempt on the ladder legs (0 disables)")
 		retries = flag.Int("retries", 0,
-			"per-cell retry budget for transient failures on the parallel leg")
+			"per-cell retry budget for transient failures on the ladder legs")
 		progress = flag.Bool("progress", false,
-			"print per-cell completion counts for the parallel leg; resumed runs start at the replayed count")
+			"print per-cell completion counts; resumed runs start at the replayed count")
 	)
 	flag.Parse()
 
-	serial, serialTime, err := run(1)
+	start := time.Now()
+	serial, err := clocksched.Sweep(context.Background(), table2Config(1))
+	serialTime := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep: serial:", err)
 		os.Exit(1)
 	}
-	// The durability knobs exercise only the parallel leg, so the serial
-	// baseline stays the seed-identical reference the merge is checked
-	// against.
-	pcfg := table2Config(*workers)
-	if *cache != "" {
-		c, err := clocksched.NewSweepCache(0, *cache)
+
+	counts := ladder(*workers)
+	r := report{
+		Grid:          "table2: 5 policies x 10 seeds, MPEG 60s",
+		Cells:         len(serial.Cells),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		SerialSeconds: serialTime.Seconds(),
+	}
+	ok := true
+	for i, w := range counts {
+		cfg := table2Config(w)
+		cfg.CellTimeout = *cellTimeout
+		cfg.Retries = *retries
+		// The durability knobs attach to the final (widest) leg only, so a
+		// resumed journal replays into one timing instead of smearing every
+		// leg with cached cells.
+		if i == len(counts)-1 {
+			if *cache != "" {
+				c, err := clocksched.NewSweepCache(0, *cache)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchsweep: cache:", err)
+					os.Exit(1)
+				}
+				cfg.Cache = c
+			}
+			cfg.Journal = *journal
+			cfg.Resume = *resume
+		}
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "benchsweep: %d workers: cell %d/%d\n", w, done, total)
+			}
+		}
+		legStart := time.Now()
+		res, err := clocksched.Sweep(context.Background(), cfg)
+		legTime := time.Since(legStart)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: cache:", err)
+			fmt.Fprintf(os.Stderr, "benchsweep: %d workers: %v\n", w, err)
 			os.Exit(1)
 		}
-		pcfg.Cache = c
-	}
-	pcfg.Journal = *journal
-	pcfg.Resume = *resume
-	pcfg.CellTimeout = *cellTimeout
-	pcfg.Retries = *retries
-	if *progress {
-		pcfg.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "benchsweep: cell %d/%d\n", done, total)
+		identical := len(serial.Cells) == len(res.Cells)
+		for i := range serial.Cells {
+			if !identical {
+				break
+			}
+			identical = reflect.DeepEqual(serial.Cells[i].Result, res.Cells[i].Result)
 		}
-	}
-	start := time.Now()
-	parallel, err := clocksched.Sweep(context.Background(), pcfg)
-	parallelTime := time.Since(start)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsweep: parallel:", err)
-		os.Exit(1)
-	}
-
-	identical := len(serial.Cells) == len(parallel.Cells)
-	for i := range serial.Cells {
-		if !identical {
-			break
+		ok = ok && identical
+		leg := run{
+			Workers:   w,
+			Seconds:   legTime.Seconds(),
+			Identical: identical,
 		}
-		identical = reflect.DeepEqual(serial.Cells[i].Result, parallel.Cells[i].Result)
-	}
-
-	r := report{
-		Grid:            "table2: 5 policies x 10 seeds, MPEG 60s",
-		Cells:           len(serial.Cells),
-		Workers:         *workers,
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		NumCPU:          runtime.NumCPU(),
-		SerialSeconds:   serialTime.Seconds(),
-		ParallelSeconds: parallelTime.Seconds(),
-		Identical:       identical,
-	}
-	if parallelTime > 0 {
-		r.Speedup = serialTime.Seconds() / parallelTime.Seconds()
+		if legTime > 0 {
+			leg.CellsPerSec = float64(len(res.Cells)) / legTime.Seconds()
+			leg.Speedup = serialTime.Seconds() / legTime.Seconds()
+		}
+		r.Runs = append(r.Runs, leg)
+		fmt.Printf("%d cells, %d workers: %.3fs (%.1f cells/s, %.2fx), identical=%v\n",
+			len(res.Cells), w, leg.Seconds, leg.CellsPerSec, leg.Speedup, identical)
 	}
 
 	b, err := json.MarshalIndent(r, "", "  ")
@@ -147,10 +177,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%d cells: serial %.3fs, %d workers %.3fs (%.2fx), identical=%v -> %s\n",
-		r.Cells, r.SerialSeconds, r.Workers, r.ParallelSeconds, r.Speedup, identical, *out)
-	if !identical {
-		fmt.Fprintln(os.Stderr, "benchsweep: parallel merge diverged from serial")
+	fmt.Printf("serial %.3fs, %d ladder legs -> %s\n", r.SerialSeconds, len(r.Runs), *out)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchsweep: a ladder leg diverged from the serial baseline")
 		os.Exit(1)
 	}
 }

@@ -48,32 +48,63 @@ func main() {
 		retry    = flag.Duration("retry-after", 2*time.Second, "backoff hint attached to 429 responses")
 		drain    = flag.Duration("drain-timeout", 30*time.Second,
 			"how long SIGTERM waits for running jobs before checkpoint-cancelling them")
+		tokens = flag.String("tokens", "",
+			"token file enabling bearer auth and per-client quotas (name token [max_queued=N] [max_cells=N] per line)")
+		retain = flag.Int("retain-results", 0,
+			"terminal jobs kept by the retention reaper; 0 keeps everything")
+		maxBytes = flag.Int64("max-data-bytes", 0,
+			"jobs/ footprint the reaper trims terminal jobs down to; 0 is unlimited")
+		gcEvery = flag.Duration("gc-interval", time.Minute, "retention reaper cadence")
 	)
 	flag.Parse()
-	os.Exit(run(*addr, *dataDir, *maxQueue, *maxJobs, *workers, *retry, *drain))
+	os.Exit(run(config{
+		addr: *addr, dataDir: *dataDir, maxQueue: *maxQueue, maxJobs: *maxJobs,
+		workers: *workers, retry: *retry, drain: *drain, tokens: *tokens,
+		retain: *retain, maxBytes: *maxBytes, gcEvery: *gcEvery,
+	}))
 }
 
-func run(addr, dataDir string, maxQueue, maxJobs, workers int, retry, drainTimeout time.Duration) int {
+type config struct {
+	addr, dataDir, tokens              string
+	maxQueue, maxJobs, workers, retain int
+	maxBytes                           int64
+	retry, drain, gcEvery              time.Duration
+}
+
+func run(c config) int {
+	var auth *service.AuthTable
+	if c.tokens != "" {
+		var err error
+		if auth, err = service.LoadTokenFile(c.tokens); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			return 1
+		}
+		fmt.Printf("sweepd: auth enabled, %d client tokens\n", auth.Len())
+	}
 	svc, err := service.New(service.Config{
-		DataDir:       dataDir,
-		MaxQueue:      maxQueue,
-		MaxActiveJobs: maxJobs,
-		Workers:       workers,
-		RetryAfter:    retry,
+		DataDir:       c.dataDir,
+		MaxQueue:      c.maxQueue,
+		MaxActiveJobs: c.maxJobs,
+		Workers:       c.workers,
+		RetryAfter:    c.retry,
+		Auth:          auth,
+		RetainResults: c.retain,
+		MaxDataBytes:  c.maxBytes,
+		GCInterval:    c.gcEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		return 1
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		return 1
 	}
 	// The bound address goes to stdout so scripts (and the crash tests)
 	// can discover an ephemeral port.
-	fmt.Printf("sweepd: listening on %s (sim %s, data %s)\n", ln.Addr(), clocksched.SimVersion(), dataDir)
+	fmt.Printf("sweepd: listening on %s (sim %s, data %s)\n", ln.Addr(), clocksched.SimVersion(), c.dataDir)
 
 	httpSrv := &http.Server{Handler: svc}
 	errc := make(chan error, 1)
@@ -83,8 +114,8 @@ func run(addr, dataDir string, maxQueue, maxJobs, workers int, retry, drainTimeo
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (timeout %v)\n", sig, drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (timeout %v)\n", sig, c.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), c.drain)
 		defer cancel()
 		if err := svc.Drain(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "sweepd: drain:", err)

@@ -1,0 +1,232 @@
+package fault
+
+// Injectable disk faults. A DiskPlan declares how often the durable-write
+// syscalls underneath the journal, the job manifest, the result files, and
+// the cell cache misbehave; a DiskInjector draws every decision from its
+// own seeded RNG stream — exactly like the simulation-fault Injector — so a
+// chaos run's fault schedule is bit-for-bit repeatable from its seed.
+//
+// The injected failures are the ways a real disk dies under a long-lived
+// daemon: fsync returning EIO, a write persisting only a prefix before
+// failing (torn page / interrupted syscall), the volume running out of
+// space, and a rename "tearing" on a filesystem whose rename is not atomic
+// across a crash — the destination is left holding a prefix of the new
+// content. Every injected error wraps ErrDiskFault so the layers above can
+// distinguish injected damage from programming bugs, and every decision is
+// tallied in DiskCounts.
+//
+// A nil *DiskInjector is the disabled layer: every method performs the real
+// operation with nothing drawn and nothing counted, which is what lets the
+// journal, cache, and service thread an injector unconditionally.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+
+	"clocksched/internal/sim"
+)
+
+// DiskStream is the disk injector's RNG stream id under its seed, distinct
+// from the simulation-fault Stream so arming disk faults never perturbs a
+// run's simulated fault schedule.
+const DiskStream = 0xD15CFA17
+
+// ErrDiskFault is wrapped by every injected disk failure, so callers can
+// tell injected damage from real bugs with errors.Is.
+var ErrDiskFault = errors.New("fault: injected disk fault")
+
+// DiskPlan declares the disk faults to inject. The zero value injects
+// nothing. Probabilities are per opportunity (per write, per fsync, per
+// rename) in [0, 1].
+type DiskPlan struct {
+	// WriteErrProb is the probability that one write fails with EIO before
+	// persisting anything.
+	WriteErrProb float64
+	// ShortWriteProb is the probability that one write persists only a
+	// seeded prefix of its payload and then fails — the torn-page /
+	// interrupted-syscall failure mode the journal's CRC framing exists to
+	// catch.
+	ShortWriteProb float64
+	// SyncErrProb is the probability that one fsync fails with EIO. The
+	// data may or may not be durable; the caller must assume it is not.
+	SyncErrProb float64
+	// ENOSPCProb is the probability that one write fails with ENOSPC
+	// before persisting anything — the full-disk failure mode a bounded
+	// retention policy exists to prevent.
+	ENOSPCProb float64
+	// TornRenameProb is the probability that one rename fails after
+	// leaving the destination holding a seeded-length prefix of the source
+	// — the crash-mid-rename outcome on a filesystem without atomic
+	// rename. The source file is left in place, as a real interrupted
+	// rename would.
+	TornRenameProb float64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *DiskPlan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.WriteErrProb > 0 || p.ShortWriteProb > 0 || p.SyncErrProb > 0 ||
+		p.ENOSPCProb > 0 || p.TornRenameProb > 0
+}
+
+// Validate checks every rate is in range.
+func (p *DiskPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"WriteErrProb", p.WriteErrProb},
+		{"ShortWriteProb", p.ShortWriteProb},
+		{"SyncErrProb", p.SyncErrProb},
+		{"ENOSPCProb", p.ENOSPCProb},
+		{"TornRenameProb", p.TornRenameProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 || pr.v != pr.v {
+			return fmt.Errorf("fault: %s = %v out of [0, 1]", pr.name, pr.v)
+		}
+	}
+	return nil
+}
+
+// DiskCounts tallies what a disk injector actually did.
+type DiskCounts struct {
+	WriteErrs   int
+	ShortWrites int
+	SyncErrs    int
+	ENOSPCs     int
+	TornRenames int
+}
+
+// Total returns the number of injected disk faults of every kind.
+func (c DiskCounts) Total() int {
+	return c.WriteErrs + c.ShortWrites + c.SyncErrs + c.ENOSPCs + c.TornRenames
+}
+
+// String summarizes the tally compactly.
+func (c DiskCounts) String() string {
+	return fmt.Sprintf("write errs %d, short writes %d, sync errs %d, enospc %d, torn renames %d",
+		c.WriteErrs, c.ShortWrites, c.SyncErrs, c.ENOSPCs, c.TornRenames)
+}
+
+// DiskInjector executes a DiskPlan over the real filesystem. It implements
+// the write/sync/rename surface the journal, cache, and service route
+// their durable writes through, and is safe for concurrent use — the
+// daemon's workers share one injector. A nil *DiskInjector performs every
+// operation for real.
+type DiskInjector struct {
+	mu     sync.Mutex
+	plan   DiskPlan
+	rng    *sim.RNG
+	counts DiskCounts
+}
+
+// NewDiskInjector builds an injector for the plan under the given seed. A
+// nil or all-zero plan yields a nil injector (real filesystem), so callers
+// can thread the result unconditionally.
+func NewDiskInjector(p *DiskPlan, seed uint64) (*DiskInjector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	return &DiskInjector{
+		plan: *p,
+		rng:  sim.NewRNGStream(seed, DiskStream),
+	}, nil
+}
+
+// Counts returns the tally of injected disk faults so far.
+func (in *DiskInjector) Counts() DiskCounts {
+	if in == nil {
+		return DiskCounts{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Write writes p to f, possibly injecting an outright EIO, an ENOSPC, or a
+// short write that persists only a prefix before failing.
+func (in *DiskInjector) Write(f *os.File, p []byte) (int, error) {
+	if in == nil {
+		return f.Write(p)
+	}
+	in.mu.Lock()
+	switch {
+	case in.rng.Bool(in.plan.WriteErrProb):
+		in.counts.WriteErrs++
+		in.mu.Unlock()
+		return 0, fmt.Errorf("%w: write %s: %v", ErrDiskFault, f.Name(), syscall.EIO)
+	case in.rng.Bool(in.plan.ENOSPCProb):
+		in.counts.ENOSPCs++
+		in.mu.Unlock()
+		return 0, fmt.Errorf("%w: write %s: %v", ErrDiskFault, f.Name(), syscall.ENOSPC)
+	case len(p) > 0 && in.rng.Bool(in.plan.ShortWriteProb):
+		in.counts.ShortWrites++
+		n := int(in.rng.Int63n(int64(len(p)))) // persist [0, len) bytes
+		in.mu.Unlock()
+		if n > 0 {
+			if wn, err := f.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, fmt.Errorf("%w: short write %s: %d of %d bytes", ErrDiskFault, f.Name(), n, len(p))
+	}
+	in.mu.Unlock()
+	return f.Write(p)
+}
+
+// Sync fsyncs f, possibly injecting an EIO. After an injected sync error
+// the caller must assume nothing since the last successful sync is durable.
+func (in *DiskInjector) Sync(f *os.File) error {
+	if in == nil {
+		return f.Sync()
+	}
+	in.mu.Lock()
+	if in.rng.Bool(in.plan.SyncErrProb) {
+		in.counts.SyncErrs++
+		in.mu.Unlock()
+		return fmt.Errorf("%w: fsync %s: %v", ErrDiskFault, f.Name(), syscall.EIO)
+	}
+	in.mu.Unlock()
+	return f.Sync()
+}
+
+// Rename renames oldpath to newpath, possibly injecting a torn rename: the
+// destination is left holding a seeded-length prefix of the source's
+// content, the source survives, and an error is returned — what a crash
+// mid-rename leaves on a filesystem without atomic rename. Layers above
+// must treat the destination as suspect after any rename error; the
+// journal's CRC framing and the cache's quarantine both do.
+func (in *DiskInjector) Rename(oldpath, newpath string) error {
+	if in == nil {
+		return os.Rename(oldpath, newpath)
+	}
+	in.mu.Lock()
+	if !in.rng.Bool(in.plan.TornRenameProb) {
+		in.mu.Unlock()
+		return os.Rename(oldpath, newpath)
+	}
+	in.counts.TornRenames++
+	var cut int64 = -1
+	if b, err := os.ReadFile(oldpath); err == nil && len(b) > 0 {
+		cut = in.rng.Int63n(int64(len(b)))
+		in.mu.Unlock()
+		// Best-effort tear: a failure to plant the damage still fails the
+		// rename, which is damage enough.
+		_ = os.WriteFile(newpath, b[:cut], 0o644)
+	} else {
+		in.mu.Unlock()
+	}
+	return fmt.Errorf("%w: torn rename %s -> %s (%d bytes landed)", ErrDiskFault, oldpath, newpath, cut)
+}

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// tempFile creates a writable file for injector calls.
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "faultfs-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestDiskPlanValidate(t *testing.T) {
+	good := &DiskPlan{WriteErrProb: 0.5, TornRenameProb: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !good.Enabled() {
+		t.Error("non-zero plan reported disabled")
+	}
+	var nilPlan *DiskPlan
+	if err := nilPlan.Validate(); err != nil || nilPlan.Enabled() {
+		t.Errorf("nil plan: err %v, enabled %v", err, nilPlan.Enabled())
+	}
+	for _, bad := range []DiskPlan{
+		{WriteErrProb: -0.1}, {ShortWriteProb: 1.5}, {SyncErrProb: 2},
+		{ENOSPCProb: -1}, {TornRenameProb: 1.01},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("plan %+v validated", bad)
+		}
+	}
+}
+
+// TestNilInjectorIsRealFS pins the disabled layer: a nil or zero plan
+// yields a nil injector whose methods perform real operations — what lets
+// every caller thread the injector unconditionally.
+func TestNilInjectorIsRealFS(t *testing.T) {
+	for _, p := range []*DiskPlan{nil, {}} {
+		in, err := NewDiskInjector(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in != nil {
+			t.Fatalf("plan %+v produced a live injector", p)
+		}
+	}
+	var in *DiskInjector
+	f := tempFile(t)
+	if n, err := in.Write(f, []byte("hello")); n != 5 || err != nil {
+		t.Fatalf("nil Write: %d, %v", n, err)
+	}
+	if err := in.Sync(f); err != nil {
+		t.Fatalf("nil Sync: %v", err)
+	}
+	dst := f.Name() + ".moved"
+	if err := in.Rename(f.Name(), dst); err != nil {
+		t.Fatalf("nil Rename: %v", err)
+	}
+	if b, err := os.ReadFile(dst); err != nil || string(b) != "hello" {
+		t.Fatalf("renamed content %q, %v", b, err)
+	}
+	if in.Counts().Total() != 0 {
+		t.Error("nil injector counted faults")
+	}
+}
+
+// TestDeterministicSchedule pins the seeding contract: the same plan and
+// seed produce the same fault schedule over the same operation sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := &DiskPlan{WriteErrProb: 0.3, SyncErrProb: 0.3, ENOSPCProb: 0.1}
+	run := func(seed uint64) []bool {
+		in, err := NewDiskInjector(plan, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := tempFile(t)
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			_, werr := in.Write(f, []byte("x"))
+			outcomes = append(outcomes, werr != nil, in.Sync(f) != nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+	}
+	diff := false
+	for i, v := range run(43) {
+		if v != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestInjectedErrorsWrapSentinel checks every failure mode is
+// distinguishable from a real bug via errors.Is, carries the right errno,
+// and is tallied.
+func TestInjectedErrorsWrapSentinel(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  DiskPlan
+		errno error
+		count func(DiskCounts) int
+	}{
+		{"write", DiskPlan{WriteErrProb: 1}, syscall.EIO, func(c DiskCounts) int { return c.WriteErrs }},
+		{"enospc", DiskPlan{ENOSPCProb: 1}, syscall.ENOSPC, func(c DiskCounts) int { return c.ENOSPCs }},
+		{"sync", DiskPlan{SyncErrProb: 1}, syscall.EIO, func(c DiskCounts) int { return c.SyncErrs }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := NewDiskInjector(&tc.plan, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := tempFile(t)
+			var opErr error
+			if tc.plan.SyncErrProb > 0 {
+				opErr = in.Sync(f)
+			} else {
+				_, opErr = in.Write(f, []byte("payload"))
+			}
+			if !errors.Is(opErr, ErrDiskFault) {
+				t.Fatalf("error %v does not wrap ErrDiskFault", opErr)
+			}
+			if tc.errno != nil && !strings.Contains(opErr.Error(), tc.errno.Error()) {
+				t.Errorf("error %q does not carry %v", opErr, tc.errno)
+			}
+			if got := tc.count(in.Counts()); got != 1 {
+				t.Errorf("count %d, want 1 (%s)", got, in.Counts())
+			}
+		})
+	}
+}
+
+// TestShortWritePersistsPrefix pins the torn-page mode: only a prefix
+// lands, the reported n matches what landed, and the error wraps the
+// sentinel.
+func TestShortWritePersistsPrefix(t *testing.T) {
+	in, err := NewDiskInjector(&DiskPlan{ShortWriteProb: 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tempFile(t)
+	payload := []byte("0123456789abcdef")
+	n, werr := in.Write(f, payload)
+	if !errors.Is(werr, ErrDiskFault) {
+		t.Fatalf("short write error: %v", werr)
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("short write persisted %d of %d bytes", n, len(payload))
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload[:n]) {
+		t.Fatalf("file holds %q, want the %d-byte prefix", got, n)
+	}
+	if c := in.Counts(); c.ShortWrites != 1 {
+		t.Errorf("counts: %s", c)
+	}
+}
+
+// TestTornRenameLeavesPrefix pins the crash-mid-rename mode: the
+// destination holds a prefix of the source, the source survives, and the
+// rename reports failure.
+func TestTornRenameLeavesPrefix(t *testing.T) {
+	in, err := NewDiskInjector(&DiskPlan{TornRenameProb: 1}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	content := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rerr := in.Rename(src, dst)
+	if !errors.Is(rerr, ErrDiskFault) {
+		t.Fatalf("torn rename error: %v", rerr)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Errorf("source vanished after torn rename: %v", err)
+	}
+	if got, err := os.ReadFile(dst); err == nil {
+		if len(got) > len(content) || string(got) != string(content[:len(got)]) {
+			t.Errorf("destination %q is not a prefix of the source", got)
+		}
+	}
+	if c := in.Counts(); c.TornRenames != 1 {
+		t.Errorf("counts: %s", c)
+	}
+}

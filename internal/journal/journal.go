@@ -128,12 +128,57 @@ func ReplayFile(path string, fn func(payload []byte) error) (ReplayStats, error)
 	return Replay(f, fn)
 }
 
+// FS is the syscall surface the writer's appends and rewrites run
+// through. A nil FS selects the real filesystem; the chaos tests inject a
+// *fault.DiskInjector, which implements the same method set, to make the
+// disk misbehave deterministically. Only the durable-commit operations are
+// abstracted — opens, reads, and truncates happen at boot, before any
+// record a caller depends on exists.
+type FS interface {
+	Write(f *os.File, p []byte) (int, error)
+	Sync(f *os.File) error
+	Rename(oldpath, newpath string) error
+}
+
+// fsWrite, fsSync, and fsRename route one operation through fs, or the
+// real filesystem when fs is nil.
+func fsWrite(fs FS, f *os.File, p []byte) (int, error) {
+	if fs == nil {
+		return f.Write(p)
+	}
+	return fs.Write(f, p)
+}
+
+func fsSync(fs FS, f *os.File) error {
+	if fs == nil {
+		return f.Sync()
+	}
+	return fs.Sync(f)
+}
+
+func fsRename(fs FS, oldpath, newpath string) error {
+	if fs == nil {
+		return os.Rename(oldpath, newpath)
+	}
+	return fs.Rename(oldpath, newpath)
+}
+
+// fileWriter adapts one (FS, *os.File) pair to io.Writer so the buffered
+// append path can sit on top of the injectable surface.
+type fileWriter struct {
+	fs FS
+	f  *os.File
+}
+
+func (w fileWriter) Write(p []byte) (int, error) { return fsWrite(w.fs, w.f, p) }
+
 // Writer appends records to one journal file. It is safe for concurrent
 // use. Appends are buffered; Sync flushes the buffer and fsyncs the file,
 // making everything appended so far the durable commit point.
 type Writer struct {
 	mu  sync.Mutex
 	f   *os.File
+	fs  FS
 	bw  *bufio.Writer
 	err error // first write failure; sticky, so a bad disk fails loudly once
 }
@@ -145,7 +190,13 @@ func Create(path string) (*Writer, error) {
 	return w, err
 }
 
-// Open opens the journal at path for appending.
+// Open opens the journal at path for appending; see OpenFS.
+func Open(path string, resume bool, fn func(payload []byte) error) (*Writer, ReplayStats, error) {
+	return OpenFS(path, resume, fn, nil)
+}
+
+// OpenFS opens the journal at path for appending, routing durable writes
+// through fs (nil selects the real filesystem).
 //
 // With resume false the file is truncated and re-headed: a fresh log.
 //
@@ -153,7 +204,7 @@ func Create(path string) (*Writer, error) {
 // exactly like Replay — the torn tail past the valid prefix is truncated
 // away, and subsequent appends extend the recovered log. A fn error aborts
 // the open. fn may be nil to resume without observing the old records.
-func Open(path string, resume bool, fn func(payload []byte) error) (*Writer, ReplayStats, error) {
+func OpenFS(path string, resume bool, fn func(payload []byte) error, fs FS) (*Writer, ReplayStats, error) {
 	var stats ReplayStats
 	if resume {
 		var err error
@@ -188,7 +239,7 @@ func Open(path string, resume bool, fn func(payload []byte) error) (*Writer, Rep
 		f.Close()
 		return nil, stats, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f, bw: bufio.NewWriter(f)}, stats, nil
+	return &Writer{f: f, fs: fs, bw: bufio.NewWriter(fileWriter{fs: fs, f: f})}, stats, nil
 }
 
 // writeRecord frames one payload — length, checksum, bytes — onto w. It is
@@ -244,7 +295,7 @@ func (w *Writer) syncLocked() error {
 		w.err = err
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := fsSync(w.fs, w.f); err != nil {
 		w.err = err
 		return err
 	}
@@ -252,13 +303,21 @@ func (w *Writer) syncLocked() error {
 }
 
 // Rewrite atomically replaces the journal at path with a fresh one holding
-// exactly the given payloads, in order. The new log is assembled in a
-// temporary file in the same directory, fsynced, and renamed over the
-// original, so a crash at any point leaves either the old journal or the
-// complete new one — never a mix. This is the primitive under journal
-// compaction: the caller replays the old log, decides which records are
-// still live, and rewrites.
+// exactly the given payloads, in order; see RewriteFS.
 func Rewrite(path string, payloads [][]byte) error {
+	return RewriteFS(path, payloads, nil)
+}
+
+// RewriteFS atomically replaces the journal at path with a fresh one
+// holding exactly the given payloads, in order, routing durable writes
+// through fs (nil selects the real filesystem). The new log is assembled
+// in a temporary file in the same directory, fsynced, and renamed over the
+// original, so a crash at any point leaves either the old journal or the
+// complete new one — never a mix (on a filesystem with atomic rename; a
+// torn rename leaves a prefix the CRC framing detects on the next replay).
+// This is the primitive under journal compaction: the caller replays the
+// old log, decides which records are still live, and rewrites.
+func RewriteFS(path string, payloads [][]byte, fs FS) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".rewrite-*")
 	if err != nil {
@@ -266,7 +325,7 @@ func Rewrite(path string, payloads [][]byte) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op once the rename lands
 
-	bw := bufio.NewWriter(tmp)
+	bw := bufio.NewWriter(fileWriter{fs: fs, f: tmp})
 	werr := func() error {
 		if _, err := bw.Write(fileMagic); err != nil {
 			return err
@@ -279,7 +338,7 @@ func Rewrite(path string, payloads [][]byte) error {
 		if err := bw.Flush(); err != nil {
 			return err
 		}
-		return tmp.Sync()
+		return fsSync(fs, tmp)
 	}()
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
@@ -287,7 +346,7 @@ func Rewrite(path string, payloads [][]byte) error {
 	if werr != nil {
 		return fmt.Errorf("journal: rewrite: %w", werr)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsRename(fs, tmp.Name(), path); err != nil {
 		return fmt.Errorf("journal: rewrite: %w", err)
 	}
 	// Best-effort directory sync so the rename itself survives power loss;

@@ -1,0 +1,210 @@
+package service
+
+// Priority classes, client identity, and quota enforcement for the sweep
+// daemon. Authentication is deliberately small: a flat token file maps
+// bearer tokens to named clients with optional per-client admission
+// limits. That is exactly enough for an unattended lab daemon shared by a
+// handful of experiment drivers — no accounts, no hashing, no expiry — and
+// the file format is simple enough to audit at a glance and fuzz
+// exhaustively (see FuzzTokenFileParse).
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Priority is a job's scheduling class. Higher classes run first; an
+// interactive submission preempts a running batch job at its next quantum
+// boundary (the preempted job's completed cells are journaled, so nothing
+// re-simulates when it resumes).
+type Priority string
+
+const (
+	// PriorityBatch yields to everything: overnight grids, bulk rebuilds.
+	PriorityBatch Priority = "batch"
+	// PriorityNormal is the default class.
+	PriorityNormal Priority = "normal"
+	// PriorityInteractive runs ahead of the other classes and may preempt
+	// a running lower-class job when every runner is busy.
+	PriorityInteractive Priority = "interactive"
+)
+
+// rank orders priorities; larger runs first.
+func (p Priority) rank() int {
+	switch p {
+	case PriorityInteractive:
+		return 2
+	case PriorityBatch:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// valid reports whether p is a known class (empty means "default").
+func (p Priority) valid() bool {
+	switch p {
+	case "", PriorityBatch, PriorityNormal, PriorityInteractive:
+		return true
+	}
+	return false
+}
+
+// ParsePriority maps the wire form to a Priority; empty selects
+// PriorityNormal.
+func ParsePriority(s string) (Priority, error) {
+	p := Priority(strings.ToLower(strings.TrimSpace(s)))
+	if p == "" {
+		return PriorityNormal, nil
+	}
+	if !p.valid() {
+		return "", fmt.Errorf("service: unknown priority %q (want batch, normal, or interactive)", s)
+	}
+	return p, nil
+}
+
+// ClientLimit is one authenticated client's identity and admission quota.
+// Zero limits are unlimited.
+type ClientLimit struct {
+	// Name is the client's identity — the value job records, metrics
+	// labels, and quota errors carry.
+	Name string
+	// MaxQueued bounds the client's live (non-terminal) jobs.
+	MaxQueued int
+	// MaxCells bounds the total grid cells across the client's live jobs,
+	// so one client cannot monopolize the worker budget with a single
+	// enormous sweep per queue slot.
+	MaxCells int
+}
+
+// QuotaUsage reports a client's admission-time resource usage; it rides on
+// quota-rejection errors so a rejected client can see exactly what it is
+// holding.
+type QuotaUsage struct {
+	Client   string `json:"client"`
+	Jobs     int    `json:"jobs"`
+	MaxJobs  int    `json:"max_jobs,omitempty"`
+	Cells    int    `json:"cells"`
+	MaxCells int    `json:"max_cells,omitempty"`
+}
+
+// AuthTable maps bearer tokens to client limits. A nil table disables
+// authentication (every request is anonymous and unlimited).
+type AuthTable struct {
+	byToken map[string]ClientLimit
+}
+
+// Lookup resolves a bearer token.
+func (t *AuthTable) Lookup(token string) (ClientLimit, bool) {
+	if t == nil {
+		return ClientLimit{}, false
+	}
+	cl, ok := t.byToken[token]
+	return cl, ok
+}
+
+// Limit returns the named client's quota, if any token grants that name.
+func (t *AuthTable) Limit(name string) (ClientLimit, bool) {
+	if t == nil {
+		return ClientLimit{}, false
+	}
+	for _, cl := range t.byToken {
+		if cl.Name == name {
+			return cl, true
+		}
+	}
+	return ClientLimit{}, false
+}
+
+// Len reports the number of tokens in the table.
+func (t *AuthTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.byToken)
+}
+
+// ParseTokenFile parses the daemon's token file. One client per line:
+//
+//	# comment
+//	alice  s3cret-token            max_queued=4  max_cells=2000
+//	batch  another-token
+//
+// Fields are whitespace-separated: a client name, its bearer token, then
+// optional key=value limits (max_queued, max_cells; omitted or zero means
+// unlimited). Blank lines and #-comments are skipped. Duplicate tokens and
+// duplicate names are errors — a token that silently shadowed another
+// client's quota would be an audit hazard, not a convenience.
+func ParseTokenFile(b []byte) (*AuthTable, error) {
+	t := &AuthTable{byToken: map[string]ClientLimit{}}
+	names := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("service: token file line %d: want \"name token [max_queued=N] [max_cells=N]\"", lineNo)
+		}
+		cl := ClientLimit{Name: fields[0]}
+		token := fields[1]
+		if strings.Contains(cl.Name, "=") {
+			return nil, fmt.Errorf("service: token file line %d: client name %q contains '='", lineNo, cl.Name)
+		}
+		if strings.Contains(token, "=") {
+			return nil, fmt.Errorf("service: token file line %d: token contains '='", lineNo)
+		}
+		for _, f := range fields[2:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("service: token file line %d: bad option %q (want key=value)", lineNo, f)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("service: token file line %d: %s must be a non-negative integer, got %q", lineNo, k, v)
+			}
+			switch k {
+			case "max_queued":
+				cl.MaxQueued = n
+			case "max_cells":
+				cl.MaxCells = n
+			default:
+				return nil, fmt.Errorf("service: token file line %d: unknown option %q", lineNo, k)
+			}
+		}
+		if _, dup := t.byToken[token]; dup {
+			return nil, fmt.Errorf("service: token file line %d: duplicate token", lineNo)
+		}
+		if names[cl.Name] {
+			return nil, fmt.Errorf("service: token file line %d: duplicate client name %q", lineNo, cl.Name)
+		}
+		names[cl.Name] = true
+		t.byToken[token] = cl
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: token file: %w", err)
+	}
+	return t, nil
+}
+
+// LoadTokenFile reads and parses the token file at path.
+func LoadTokenFile(path string) (*AuthTable, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: token file: %w", err)
+	}
+	t, err := ParseTokenFile(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return t, nil
+}

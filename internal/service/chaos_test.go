@@ -1,0 +1,323 @@
+package service
+
+// The service chaos harness: the whole daemon — submit, preempt, GC,
+// restart — run over a disk that lies. Every durable write goes through a
+// seeded fault.DiskInjector; rounds of work are cut short by Close and by
+// SIGKILL; and at the end a clean daemon over the same data dir must
+// converge every surviving job to one of exactly two outcomes:
+//
+//   - StateDone with result bytes identical to an uninterrupted local
+//     sweep of the same spec, or
+//   - StateFailed with a non-empty structured error.
+//
+// Never a third thing: no silent corruption, no job stuck non-terminal,
+// no daemon that cannot boot off its own data dir.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"clocksched"
+	"clocksched/internal/fault"
+	"clocksched/internal/journal"
+)
+
+// chaosPlan is the fault mix the chaos rounds run under: low enough that
+// most operations succeed and jobs make progress, high enough that every
+// round sees several injected failures across all five modes.
+func chaosPlan() *fault.DiskPlan {
+	return &fault.DiskPlan{
+		WriteErrProb:   0.05,
+		ShortWriteProb: 0.05,
+		SyncErrProb:    0.05,
+		ENOSPCProb:     0.02,
+		TornRenameProb: 0.05,
+	}
+}
+
+// chaosSpecs is the deterministic spec pool chaos jobs draw from, paired
+// with the clean result bytes each must reproduce.
+func chaosSpecs(t *testing.T) ([]clocksched.SweepSpec, [][]byte) {
+	t.Helper()
+	var specs []clocksched.SweepSpec
+	var clean [][]byte
+	for seeds := 1; seeds <= 4; seeds++ {
+		specs = append(specs, testSpec(seeds))
+		res, err := clocksched.Sweep(context.Background(), testGrid(seeds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := clocksched.EncodeSweepResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean = append(clean, b)
+	}
+	return specs, clean
+}
+
+var chaosPriorities = []Priority{PriorityBatch, PriorityNormal, PriorityInteractive}
+
+// TestServiceChaos runs several daemon lifetimes over one data dir with
+// disk faults injected under every journal, manifest, and result write,
+// exercising submit, preemption, GC, and mid-work Close. A final
+// fault-free daemon must drain everything within a bounded deadline and
+// every acknowledged job must end byte-identical-or-structured-failure.
+func TestServiceChaos(t *testing.T) {
+	dir := t.TempDir()
+	specs, clean := chaosSpecs(t)
+	acked := map[string]int{} // job id -> spec index, across all rounds
+
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		in, err := fault.NewDiskInjector(chaosPlan(), 0xC4A05+uint64(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{
+			DataDir: dir, Workers: 2, MaxActiveJobs: 2, MaxQueue: 64,
+			CellDelay: time.Millisecond, RetainResults: 8, FS: in,
+		})
+		if err != nil {
+			// A boot refused under injected faults is a crash at startup:
+			// the data dir must still carry the next round.
+			t.Logf("round %d: boot refused under faults: %v", round, err)
+			continue
+		}
+		for i := 0; i < 6; i++ {
+			k := (round + i) % len(specs)
+			st, err := s.SubmitWith(specs[k], SubmitOptions{
+				Priority: chaosPriorities[(round+i)%len(chaosPriorities)],
+			})
+			if err != nil {
+				var apiErr *APIError
+				if !errors.As(err, &apiErr) {
+					t.Fatalf("round %d submit %d: unstructured error %v", round, i, err)
+				}
+				continue
+			}
+			acked[st.ID] = k
+			if i == 2 {
+				if _, err := s.GC(); err != nil {
+					t.Logf("round %d: gc under faults: %v", round, err)
+				}
+			}
+		}
+		// Let some work land, then vanish mid-flight.
+		time.Sleep(time.Duration(40+round*20) * time.Millisecond)
+		if _, err := s.GC(); err != nil {
+			t.Logf("round %d: gc under faults: %v", round, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Logf("round %d: close under faults: %v", round, err)
+		}
+		t.Logf("round %d: %s", round, in.Counts())
+	}
+
+	// Final clean daemon: everything must converge, bounded.
+	s, err := New(Config{
+		DataDir: dir, Workers: 2, MaxActiveJobs: 2, MaxQueue: 64,
+	})
+	if err != nil {
+		t.Fatalf("clean boot after chaos rounds: %v", err)
+	}
+	defer s.Close()
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		live := 0
+		for _, j := range s.Jobs() {
+			if !j.State.terminal() {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon stuck: %d jobs still non-terminal after chaos", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	checkedDone := 0
+	for _, j := range s.Jobs() {
+		switch j.State {
+		case StateDone:
+			got, err := s.ResultBytes(j.ID)
+			if err != nil {
+				t.Errorf("done job %s result unreadable: %v", j.ID, err)
+				continue
+			}
+			if k, ok := acked[j.ID]; ok {
+				if !bytes.Equal(got, clean[k]) {
+					t.Errorf("job %s result (%d bytes) != clean sweep of its spec (%d bytes)",
+						j.ID, len(got), len(clean[k]))
+				}
+				checkedDone++
+			}
+		case StateFailed, StateCancelled:
+			if j.State == StateFailed && j.Error == "" {
+				t.Errorf("failed job %s carries no error", j.ID)
+			}
+		default:
+			t.Errorf("job %s non-terminal after drain: %s", j.ID, j.State)
+		}
+	}
+	if checkedDone == 0 {
+		t.Error("chaos run completed zero verifiable jobs; fault rates too high to mean anything")
+	}
+	t.Logf("chaos: %d acked jobs, %d byte-verified done", len(acked), checkedDone)
+}
+
+// TestServiceChaosChild serves a daemon with an armed disk injector (seed
+// from the environment; 0 means clean) until the parent kills it.
+func TestServiceChaosChild(t *testing.T) {
+	dir := os.Getenv("CLOCKSCHED_SERVICE_CHAOS_CHILD_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper; run via TestServiceChaosKillAndResume")
+	}
+	seed, err := strconv.ParseUint(os.Getenv("CLOCKSCHED_SERVICE_CHAOS_SEED"), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs journal.FS
+	if seed != 0 {
+		in, err := fault.NewDiskInjector(chaosPlan(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = in
+	}
+	s, err := New(Config{
+		DataDir: dir, Workers: 1, MaxActiveJobs: 1,
+		CellDelay: 50 * time.Millisecond, FS: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("addr %s\n", ln.Addr())
+	t.Fatal(http.Serve(ln, s))
+}
+
+// TestServiceChaosKillAndResume combines the two failure injectors: disk
+// faults inside the daemon and SIGKILL from outside, twice, then a clean
+// daemon. The job either resumes to the byte-identical result or fails
+// with a structured error — the crash/fault combination is never allowed
+// to produce a third outcome.
+func TestServiceChaosKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := clocksched.NewSweepSpec(killGrid())
+
+	kill := func(child *os.Process, wait func() error, ps func() *os.ProcessState) {
+		t.Helper()
+		if err := child.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		err := wait()
+		if ws, ok := ps().Sys().(syscall.WaitStatus); !ok || !ws.Signaled() {
+			t.Fatalf("child did not die of the signal: err=%v state=%v", err, ps())
+		}
+	}
+
+	// Lifetime 1: chaos daemon, submit, let it work, SIGKILL.
+	child, base := startChild(t, "TestServiceChaosChild",
+		"CLOCKSCHED_SERVICE_CHAOS_CHILD_DIR="+dir,
+		"CLOCKSCHED_SERVICE_CHAOS_SEED=101")
+	c := &Client{Base: base}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		// The submit itself may be refused by an injected manifest fault —
+		// structured — in which case there is nothing to resume; rerun
+		// against the same daemon until one is acked (bounded).
+		var apiErr *APIError
+		for tries := 0; err != nil && tries < 20; tries++ {
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("chaos submit: unstructured error %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			st, err = c.Submit(ctx, spec)
+		}
+		if err != nil {
+			t.Fatalf("no submit acked under chaos: %v", err)
+		}
+	}
+	// Wait for progress or a (legitimate) structured failure before killing.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		js, serr := c.Status(ctx, st.ID)
+		if serr == nil && (js.Done >= 2 || js.State.terminal()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("chaos child made no progress")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	kill(child.Process, child.Wait, func() *os.ProcessState { return child.ProcessState })
+
+	// Lifetime 2: different fault schedule, same data dir, SIGKILL again.
+	child2, _ := startChild(t, "TestServiceChaosChild",
+		"CLOCKSCHED_SERVICE_CHAOS_CHILD_DIR="+dir,
+		"CLOCKSCHED_SERVICE_CHAOS_SEED=202")
+	time.Sleep(500 * time.Millisecond) // let it replay and work a little
+	kill(child2.Process, child2.Wait, func() *os.ProcessState { return child2.ProcessState })
+
+	// Lifetime 3: clean daemon; the job must converge.
+	child3, base3 := startChild(t, "TestServiceChaosChild",
+		"CLOCKSCHED_SERVICE_CHAOS_CHILD_DIR="+dir,
+		"CLOCKSCHED_SERVICE_CHAOS_SEED=0")
+	defer func() {
+		child3.Process.Kill()
+		child3.Wait()
+	}()
+	c3 := &Client{Base: base3}
+	wctx, wcancel := context.WithTimeout(ctx, 120*time.Second)
+	defer wcancel()
+	final, err := c3.Wait(wctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch final.State {
+	case StateDone:
+		got, err := c3.ResultBytes(wctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := clocksched.Sweep(ctx, killGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := clocksched.EncodeSweepResult(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-chaos result (%d bytes) != clean sweep (%d bytes)", len(got), len(want))
+		}
+	case StateFailed:
+		if final.Error == "" {
+			t.Fatalf("failed job carries no error: %+v", final)
+		}
+		t.Logf("job failed structurally under chaos: %s", final.Error)
+	default:
+		t.Fatalf("job ended %s — neither done nor a structured failure", final.State)
+	}
+}

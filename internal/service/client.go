@@ -10,13 +10,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"clocksched"
+	"clocksched/internal/sim"
 )
 
 // Client talks to one sweepd daemon.
@@ -26,7 +31,27 @@ type Client struct {
 	// HTTP, when non-nil, overrides http.DefaultClient (tests inject a
 	// transport; CLIs set timeouts).
 	HTTP *http.Client
+	// Token, when non-empty, is sent as the bearer token on every request
+	// — required when the daemon runs with a token file.
+	Token string
+	// Retry429, when positive, makes Submit/SubmitWith retry up to this
+	// many additional times after a 429 (queue full, quota exceeded),
+	// honouring the server's Retry-After hint plus seeded jitter. Zero
+	// surfaces the 429 to the caller unchanged.
+	Retry429 int
+	// RetrySeed seeds the retry jitter, so a test's backoff schedule — and
+	// a fleet of batch submitters started from distinct seeds — is
+	// deterministic. Zero is a fixed default stream.
+	RetrySeed uint64
+
+	jitterOnce sync.Once
+	jitterMu   sync.Mutex
+	jitter     *sim.RNG
 }
+
+// retryStream is the client's RNG stream id for retry jitter, distinct
+// from every simulation stream.
+const retryStream = 0xBACC0FF5
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
@@ -37,6 +62,33 @@ func (c *Client) http() *http.Client {
 
 func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// newRequest builds a request with the client's auth header attached.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
+}
+
+// retryDelay draws one backoff: the server's hint (or a second when it
+// sent none) plus up to 50% seeded jitter, so a herd of rejected clients
+// does not resubmit in lockstep.
+func (c *Client) retryDelay(hint time.Duration) time.Duration {
+	c.jitterOnce.Do(func() {
+		c.jitter = sim.NewRNGStream(c.RetrySeed, retryStream)
+	})
+	if hint <= 0 {
+		hint = time.Second
+	}
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return hint + time.Duration(c.jitter.Int63n(int64(hint)/2+1))
 }
 
 // decodeError reconstructs the server's structured error from a non-2xx
@@ -67,7 +119,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
 		return err
 	}
@@ -89,17 +141,42 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit posts the spec and returns the accepted job's status. Rejections
-// (429 queue full, 409 version mismatch, 400 invalid, 503 draining) come
-// back as *APIError.
+// Submit posts the spec at normal priority and returns the accepted job's
+// status. Rejections (429 queue full or quota, 409 version mismatch, 400
+// invalid, 401 unauthorized, 503 draining) come back as *APIError. With
+// Retry429 set, 429s are retried per the server's Retry-After hint.
 func (c *Client) Submit(ctx context.Context, spec clocksched.SweepSpec) (JobStatus, error) {
+	return c.SubmitWith(ctx, spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with an explicit priority class. The client's
+// identity is not a request field — the server derives it from the bearer
+// token — so SubmitOptions.Client is ignored here.
+func (c *Client) SubmitWith(ctx context.Context, spec clocksched.SweepSpec, opts SubmitOptions) (JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	var st JobStatus
-	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
-	return st, err
+	path := "/v1/jobs"
+	if opts.Priority != "" {
+		path += "?priority=" + url.QueryEscape(string(opts.Priority))
+	}
+	for attempt := 0; ; attempt++ {
+		var st JobStatus
+		err := c.do(ctx, http.MethodPost, path, body, &st)
+		if err == nil {
+			return st, nil
+		}
+		var apiErr *APIError
+		if attempt >= c.Retry429 || !errors.As(err, &apiErr) || apiErr.Status != 429 {
+			return JobStatus{}, err
+		}
+		select {
+		case <-time.After(c.retryDelay(apiErr.RetryAfter)):
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
 }
 
 // Status fetches one job's status.
@@ -127,7 +204,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 
 // ResultBytes fetches a finished job's canonical result envelope.
 func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/result"), nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -151,48 +228,96 @@ func (c *Client) Result(ctx context.Context, id string) (*clocksched.SweepResult
 	return clocksched.DecodeSweepResult(b)
 }
 
+// eventsMaxReconnects bounds consecutive failed stream attempts before
+// Events gives up and surfaces the drop; any successfully read event
+// resets the count, so a long watch survives any number of spaced-out
+// daemon restarts.
+const eventsMaxReconnects = 4
+
 // Events streams the job's SSE feed, invoking fn per event until the job
-// reaches a terminal state, fn returns an error, or ctx is cancelled. It
-// returns nil on a terminal event; io.EOF from a dropped connection is
-// surfaced so callers can reconnect or fall back to polling.
+// reaches a terminal state, fn returns an error, or ctx is cancelled. A
+// dropped connection (daemon restart, proxy timeout) is reconnected
+// transparently with the SSE Last-Event-ID header, so the server skips
+// the snapshot the client already has; only after eventsMaxReconnects
+// consecutive failures is the drop surfaced (io.EOF or the transport
+// error) for callers to fall back to polling.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	var lastID int64
+	fails := 0
+	for {
+		sawEvent, retryable, err := c.eventsOnce(ctx, id, fn, &lastID)
+		if err == nil || !retryable || ctx.Err() != nil {
+			return err
+		}
+		if sawEvent {
+			fails = 0 // progress since the last failure: fresh budget
+		}
+		fails++
+		if fails > eventsMaxReconnects {
+			return err
+		}
+		select {
+		case <-time.After(time.Duration(fails) * 250 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// eventsOnce runs one SSE connection, tracking the last SSE id in *lastID
+// for the next attempt's Last-Event-ID header. A nil error means the
+// stream ended on a terminal event. retryable marks transport-level drops
+// (dial failure, mid-stream cut, clean close without a terminal event);
+// structured API rejections, malformed payloads, and fn's own errors are
+// not retryable — they are the caller's business.
+func (c *Client) eventsOnce(ctx context.Context, id string, fn func(Event) error, lastID *int64) (sawEvent, retryable bool, err error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return false, false, err
+	}
+	if *lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*lastID, 10))
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return false, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
+		return false, false, decodeError(resp)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		if idStr, ok := strings.CutPrefix(line, "id: "); ok {
+			if n, err := strconv.ParseInt(idStr, 10, 64); err == nil {
+				*lastID = n
+			}
+			continue
+		}
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
 		var ev Event
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-			return fmt.Errorf("service: bad event payload: %w", err)
+			return sawEvent, false, fmt.Errorf("service: bad event payload: %w", err)
 		}
+		sawEvent = true
 		if fn != nil {
 			if err := fn(ev); err != nil {
-				return err
+				return sawEvent, false, err
 			}
 		}
 		if ev.Type == "state" && ev.State.terminal() {
-			return nil
+			return sawEvent, false, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return sawEvent, true, err
 	}
-	return io.EOF // stream ended without a terminal event
+	return sawEvent, true, io.EOF // stream ended without a terminal event
 }
 
 // Wait blocks until the job is terminal, preferring the event stream and

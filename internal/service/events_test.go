@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEventsSurviveDaemonRestart pins the reconnect satellite: a client
+// watching a job's event stream keeps one Events call alive across a full
+// daemon restart — the dropped connection is redialed with Last-Event-ID
+// and the call still ends on the job's terminal event, so Wait-style
+// watchers never need to know the daemon bounced.
+func TestEventsSurviveDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1, err := New(Config{
+		DataDir: dir, Workers: 1, MaxActiveJobs: 1,
+		CellDelay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs1 := &http.Server{Handler: s1}
+	go hs1.Serve(ln)
+
+	c := &Client{Base: "http://" + addr}
+	st, err := c.Submit(ctx, testSpec(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events atomic.Int32
+	watch := make(chan error, 1)
+	go func() {
+		watch <- c.Events(ctx, st.ID, func(Event) error {
+			events.Add(1)
+			return nil
+		})
+	}()
+
+	// Let a few cells commit, then bounce the daemon: connection torn, job
+	// left non-terminal on disk.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		js, err := c.Status(ctx, st.ID)
+		if err == nil && js.Done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job made no progress before restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	before := events.Load()
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{
+		DataDir: dir, Workers: 1, MaxActiveJobs: 1,
+		CellDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := &http.Server{Handler: s2}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+
+	select {
+	case err := <-watch:
+		if err != nil {
+			t.Fatalf("Events did not survive the restart: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Events never ended after the restart")
+	}
+	if events.Load() <= before {
+		t.Errorf("no events observed after the restart (before %d, after %d)", before, events.Load())
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("job after restart: %+v, %v", final, err)
+	}
+	if final.Replayed < 2 {
+		t.Errorf("restarted job replayed %d cells, want >= 2", final.Replayed)
+	}
+}

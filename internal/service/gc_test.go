@@ -1,0 +1,339 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"clocksched"
+)
+
+// waitSrvTerminal polls the in-process API until the job is terminal.
+func waitSrvTerminal(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// waitSrvState polls until the job reaches the wanted non-terminal state.
+func waitSrvState(t *testing.T, s *Server, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s ended %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+// TestGCRetainResults pins count-based retention: with RetainResults=2 and
+// four finished jobs, a pass deletes the two oldest — records, dirs, and
+// table entries — compacts the manifest, and a rebooted daemon sees only
+// the survivors and never re-issues a deleted job's id.
+func TestGCRetainResults(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{DataDir: dir, Workers: 1, RetainResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := s.Submit(testSpec(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+		waitSrvTerminal(t, s, st.ID)
+	}
+
+	st, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsDeleted != 2 || st.BytesFreed <= 0 || !st.Compacted {
+		t.Fatalf("gc stats %+v, want 2 jobs deleted, bytes freed, compacted", st)
+	}
+
+	for _, id := range ids[:2] {
+		if _, err := s.Status(id); !isAPIError(err, 404, CodeNotFound) {
+			t.Errorf("deleted job %s status: %v", id, err)
+		}
+		if _, err := os.Stat(s.jobDir(id)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("deleted job %s dir survives: %v", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, err := s.ResultBytes(id); err != nil {
+			t.Errorf("retained job %s result: %v", id, err)
+		}
+	}
+
+	// Reboot over the compacted manifest: survivors intact, deleted ids
+	// never re-issued (the meta record pins the counter).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{DataDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("rebooted daemon lists %d jobs, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.State != StateDone {
+			t.Errorf("rebooted job %s in state %s", j.ID, j.State)
+		}
+		if _, err := s2.ResultBytes(j.ID); err != nil {
+			t.Errorf("rebooted job %s result: %v", j.ID, err)
+		}
+	}
+	fresh, err := s2.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if fresh.ID == old {
+			t.Fatalf("rebooted daemon re-issued deleted id %s", old)
+		}
+	}
+	waitSrvTerminal(t, s2, fresh.ID)
+}
+
+// TestGCMaxDataBytes pins byte-based retention: when the jobs/ footprint
+// exceeds MaxDataBytes, oldest terminal jobs are deleted until it fits.
+func TestGCMaxDataBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{DataDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(testSpec(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+		waitSrvTerminal(t, s, st.ID)
+	}
+	perJob := dirSize(s.jobDir(ids[0]))
+	if perJob <= 0 {
+		t.Fatalf("job dir measured %d bytes", perJob)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A budget of ~2.5 jobs forces exactly the oldest one out.
+	s2, err := New(Config{DataDir: dir, Workers: 1, MaxDataBytes: perJob*2 + perJob/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsDeleted != 1 {
+		t.Fatalf("gc deleted %d jobs, want 1 (per-job %d bytes, stats %+v)", st.JobsDeleted, perJob, st)
+	}
+	if st.DataBytes > perJob*2+perJob/2 {
+		t.Errorf("footprint %d still over the %d budget", st.DataBytes, perJob*2+perJob/2)
+	}
+	if _, err := s2.Status(ids[0]); !isAPIError(err, 404, CodeNotFound) {
+		t.Errorf("oldest job survived the byte cap: %v", err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := s2.ResultBytes(id); err != nil {
+			t.Errorf("retained job %s result: %v", id, err)
+		}
+	}
+}
+
+// TestGCNeverTouchesLiveJobs is the retention safety property: a pass run
+// while jobs are queued, running, and preempted deletes only terminal work,
+// and the surviving jobs complete byte-identical to a clean local sweep —
+// GC can never cost accepted work.
+func TestGCNeverTouchesLiveJobs(t *testing.T) {
+	s, err := New(Config{
+		DataDir: t.TempDir(), Workers: 1, MaxActiveJobs: 1,
+		CellDelay: 20 * time.Millisecond, RetainResults: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Two finished jobs — GC fodder.
+	var done []string
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(testSpec(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = append(done, st.ID)
+		waitSrvTerminal(t, s, st.ID)
+	}
+
+	// A running batch job, a queued job, and an interactive job that
+	// preempts the batch one — all three non-terminal states live at once.
+	run, err := s.SubmitWith(testSpec(8), SubmitOptions{Priority: PriorityBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSrvState(t, s, run.ID, StateRunning)
+	queued, err := s.SubmitWith(testSpec(4), SubmitOptions{Priority: PriorityBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := s.SubmitWith(testSpec(4), SubmitOptions{Priority: PriorityInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSrvState(t, s, run.ID, StatePreempted)
+
+	st, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsDeleted != 1 {
+		t.Fatalf("gc deleted %d jobs, want only the oldest terminal one", st.JobsDeleted)
+	}
+	if _, err := s.Status(done[0]); !isAPIError(err, 404, CodeNotFound) {
+		t.Errorf("oldest terminal job: %v", err)
+	}
+	for _, id := range []string{done[1], run.ID, queued.ID, inter.ID} {
+		if _, err := s.Status(id); err != nil {
+			t.Errorf("live or retained job %s deleted by gc: %v", id, err)
+		}
+	}
+
+	// The preempted job resumes and every survivor completes; the preempted
+	// one's result is byte-identical to an uninterrupted local sweep.
+	for _, id := range []string{run.ID, queued.ID, inter.ID} {
+		if fin := waitSrvTerminal(t, s, id); fin.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", id, fin.State, fin.Error)
+		}
+	}
+	got, err := s.ResultBytes(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := clocksched.Sweep(context.Background(), testGrid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clocksched.EncodeSweepResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("preempted+GC'd-around job result (%d bytes) != clean sweep (%d bytes)",
+			len(got), len(want))
+	}
+}
+
+// TestCompactionRaceSubmit races manifest compaction against job
+// submission — the one writer-swap moment in the daemon — and then proves
+// the manifest survived: accounting is coherent and a reboot recovers
+// every retained job. Run under -race this also checks the locking.
+func TestCompactionRaceSubmit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{
+		DataDir: dir, Workers: 2, MaxActiveJobs: 2,
+		MaxQueue: 64, RetainResults: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 20
+	var ids []string
+	var idsMu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < jobs; i++ {
+			st, err := s.Submit(testSpec(1))
+			if err != nil {
+				var apiErr *APIError
+				if !errors.As(err, &apiErr) {
+					t.Errorf("submit %d returned an unstructured error: %v", i, err)
+				}
+				continue
+			}
+			idsMu.Lock()
+			ids = append(ids, st.ID)
+			idsMu.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < jobs; i++ {
+			if _, err := s.GC(); err != nil {
+				t.Errorf("gc pass %d: %v", i, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	// Drain the accepted jobs, then one final pass and a reboot.
+	for _, id := range ids {
+		if _, err := s.Status(id); isAPIError(err, 404, CodeNotFound) {
+			continue // already reaped
+		}
+		waitSrvTerminal(t, s, id)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{DataDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatalf("reboot after compaction race: %v", err)
+	}
+	defer s2.Close()
+	for _, j := range s2.Jobs() {
+		fin := waitSrvTerminal(t, s2, j.ID)
+		if fin.State == StateDone {
+			if _, err := s2.ResultBytes(j.ID); err != nil {
+				t.Errorf("recovered job %s result: %v", j.ID, err)
+			}
+		}
+	}
+}

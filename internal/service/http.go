@@ -19,12 +19,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"clocksched"
@@ -41,6 +43,8 @@ const (
 	CodeNotFinished     = "not_finished"
 	CodeBadRequest      = "bad_request"
 	CodeInternal        = "internal"
+	CodeUnauthorized    = "unauthorized"
+	CodeQuotaExceeded   = "quota_exceeded"
 )
 
 // APIError is the service's structured error: an HTTP status, a stable
@@ -55,6 +59,10 @@ type APIError struct {
 	// RetryAfter, when positive, tells the client how long to back off
 	// before resubmitting (429 responses; sent as the Retry-After header).
 	RetryAfter time.Duration `json:"retry_after_seconds,omitempty"`
+	// Usage rides on quota rejections (code "quota_exceeded"): the owning
+	// client's live jobs and cells against its limits, so the rejection
+	// says exactly what to cancel or wait out.
+	Usage *QuotaUsage `json:"usage,omitempty"`
 }
 
 func (e *APIError) Error() string {
@@ -74,6 +82,13 @@ type JobStatus struct {
 	Replayed int `json:"replayed,omitempty"`
 	// Error is the terminal failure text of a failed job.
 	Error string `json:"error,omitempty"`
+	// Priority is the job's scheduling class.
+	Priority Priority `json:"priority,omitempty"`
+	// Client is the authenticated submitter, empty when anonymous.
+	Client string `json:"client,omitempty"`
+	// Preemptions counts how many times a higher-priority job pushed this
+	// one off its runner.
+	Preemptions int `json:"preemptions,omitempty"`
 }
 
 // maxSpecBytes bounds a submitted job spec. A grid spec is axes plus
@@ -81,9 +96,46 @@ type JobStatus struct {
 // is hostile or broken.
 const maxSpecBytes = 8 << 20
 
+// clientKey carries the authenticated client's name through the request
+// context.
+type clientKey struct{}
+
+// authenticate resolves the request's bearer token against the configured
+// table. With no table every request is anonymous; with one, every
+// endpoint but /healthz requires a known token.
+func (s *Server) authenticate(r *http.Request) (string, error) {
+	if s.cfg.Auth == nil {
+		return "", nil
+	}
+	h := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || token == "" {
+		s.reg.Counter(mRejectedAuth).Inc()
+		return "", &APIError{Status: 401, Code: CodeUnauthorized,
+			Message: "missing bearer token"}
+	}
+	cl, ok := s.cfg.Auth.Lookup(strings.TrimSpace(token))
+	if !ok {
+		s.reg.Counter(mRejectedAuth).Inc()
+		return "", &APIError{Status: 401, Code: CodeUnauthorized,
+			Message: "unknown bearer token"}
+	}
+	return cl.Name, nil
+}
+
 // ServeHTTP implements http.Handler over the method+path patterns of the
-// standard mux.
+// standard mux, gated by bearer-token authentication when a token table is
+// configured (liveness stays open — a monitor should not need a secret to
+// ask if the daemon is up).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Auth != nil && r.URL.Path != "/healthz" {
+		client, err := s.authenticate(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), clientKey{}, client))
+	}
 	s.mux().ServeHTTP(w, r)
 }
 
@@ -182,7 +234,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	st, err := s.Submit(spec)
+	prio, err := ParsePriority(r.URL.Query().Get("priority"))
+	if err != nil {
+		writeError(w, &APIError{Status: 400, Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	client, _ := r.Context().Value(clientKey{}).(string)
+	st, err := s.SubmitWith(spec, SubmitOptions{Priority: prio, Client: client})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -227,7 +285,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's lifecycle over Server-Sent Events: one
 // snapshot event on connect, then every progress update and state change
-// until the job reaches a terminal state or the client disconnects.
+// until the job reaches a terminal state or the client disconnects. Every
+// event carries its per-job sequence number as the SSE id; a reconnecting
+// client that presents the current sequence in Last-Event-ID skips the
+// redundant snapshot. (A restarted daemon resets the sequence, so a stale
+// id never matches and the snapshot is re-sent — which is exactly what a
+// client that slept through a reboot needs.)
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ch, snap, err := s.subscribe(r.PathValue("id"))
 	if err != nil {
@@ -246,7 +309,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
 			return false
 		}
 		if canFlush {
@@ -255,7 +318,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	if !send(snap) || snap.State.terminal() {
+	lastID, lastIDErr := strconv.ParseInt(r.Header.Get("Last-Event-ID"), 10, 64)
+	caughtUp := lastIDErr == nil && lastID > 0 && lastID == snap.Seq
+	if !caughtUp {
+		if !send(snap) {
+			return
+		}
+	}
+	if snap.State.terminal() {
+		if caughtUp {
+			// The client saw everything up to the terminal event already;
+			// re-send the terminal snapshot so the stream still ends with
+			// one rather than closing silently.
+			send(snap)
+		}
 		return
 	}
 	for {

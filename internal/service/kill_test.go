@@ -61,12 +61,13 @@ func TestServiceKillChild(t *testing.T) {
 	t.Fatal(http.Serve(ln, s))
 }
 
-// startChild re-execs the test binary as a sweepd-like daemon over dir and
-// returns the base URL it bound.
-func startChild(t *testing.T, dir string) (*exec.Cmd, string) {
+// startChild re-execs the test binary as a sweepd-like daemon running the
+// named child test with the given environment, and returns the base URL it
+// bound.
+func startChild(t *testing.T, testName string, env ...string) (*exec.Cmd, string) {
 	t.Helper()
-	child := exec.Command(os.Args[0], "-test.run=TestServiceKillChild$", "-test.v")
-	child.Env = append(os.Environ(), "CLOCKSCHED_SERVICE_CHILD_DIR="+dir)
+	child := exec.Command(os.Args[0], "-test.run="+testName+"$", "-test.v")
+	child.Env = append(os.Environ(), env...)
 	stdout, err := child.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +103,7 @@ func TestServiceKillAndResume(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
 
-	child, base := startChild(t, dir)
+	child, base := startChild(t, "TestServiceKillChild", "CLOCKSCHED_SERVICE_CHILD_DIR="+dir)
 	c := &Client{Base: base}
 
 	st, err := c.Submit(ctx, clocksched.NewSweepSpec(killGrid()))
@@ -134,7 +135,7 @@ func TestServiceKillAndResume(t *testing.T) {
 
 	// Second daemon, same data dir: the manifest re-queues the job and the
 	// cell journal replays the committed cells.
-	child2, base2 := startChild(t, dir)
+	child2, base2 := startChild(t, "TestServiceKillChild", "CLOCKSCHED_SERVICE_CHILD_DIR="+dir)
 	defer func() {
 		child2.Process.Kill()
 		child2.Wait()

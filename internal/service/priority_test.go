@@ -1,0 +1,256 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"clocksched"
+)
+
+func TestParsePriority(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Priority
+		ok   bool
+	}{
+		{"", PriorityNormal, true},
+		{"normal", PriorityNormal, true},
+		{"batch", PriorityBatch, true},
+		{"interactive", PriorityInteractive, true},
+		{"BATCH", PriorityBatch, true},   // case-insensitive
+		{" batch ", PriorityBatch, true}, // whitespace-tolerant
+		{"urgent", "", false},
+		{"low", "", false},
+	}
+	for _, tc := range cases {
+		got, err := ParsePriority(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParsePriority(%q) = %v, %v; want %v ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if !(PriorityBatch.rank() < PriorityNormal.rank() && PriorityNormal.rank() < PriorityInteractive.rank()) {
+		t.Error("priority ranks out of order")
+	}
+}
+
+func TestSubmitRejectsBadPriority(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	_, err := c.SubmitWith(context.Background(), testSpec(1), SubmitOptions{Priority: "urgent"})
+	if !isAPIError(err, 400, CodeBadRequest) {
+		t.Fatalf("bad priority: %v", err)
+	}
+}
+
+// TestPrioritySchedulingOrder pins the scheduler: with one runner occupied
+// by a batch job, an interactive submission preempts it, and the remaining
+// queue drains highest-class-first with FIFO inside a class. Expected
+// completion order: interactive, normal, the preempted batch job (oldest
+// batch), then the queued batch job.
+func TestPrioritySchedulingOrder(t *testing.T) {
+	_, c := newTestServer(t, Config{
+		Workers: 1, MaxActiveJobs: 1, CellDelay: 20 * time.Millisecond,
+	})
+	ctx := context.Background()
+	submit := func(seeds int, p Priority) string {
+		t.Helper()
+		st, err := c.SubmitWith(ctx, testSpec(seeds), SubmitOptions{Priority: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Priority != p {
+			t.Fatalf("submitted priority %q, status says %q", p, st.Priority)
+		}
+		return st.ID
+	}
+
+	b1 := submit(8, PriorityBatch)
+	waitState(t, c, b1, StateRunning)
+	b2 := submit(4, PriorityBatch)
+	n1 := submit(4, PriorityNormal)
+	i1 := submit(4, PriorityInteractive) // preempts b1
+
+	// Record the order in which jobs reach done. Each job runs >= 80ms of
+	// injected delay, so a 5ms poll cannot miss a transition.
+	var done []string
+	seen := map[string]bool{}
+	deadline := time.Now().Add(60 * time.Second)
+	for len(done) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never finished; done so far: %v", done)
+		}
+		jobs, err := c.Jobs(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if j.State == StateDone && !seen[j.ID] {
+				seen[j.ID] = true
+				done = append(done, j.ID)
+			}
+			if j.State == StateFailed {
+				t.Fatalf("job %s failed: %s", j.ID, j.Error)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := []string{i1, n1, b1, b2}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", done, want)
+		}
+	}
+
+	st, err := c.Status(ctx, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions < 1 {
+		t.Errorf("batch job was never preempted: %+v", st)
+	}
+	if st.Done != 8 {
+		t.Errorf("preempted job finished %d of 8 cells", st.Done)
+	}
+}
+
+// TestEqualPriorityNoPreemption: a submission never bumps a running job of
+// the same class — preemption requires a strictly higher class.
+func TestEqualPriorityNoPreemption(t *testing.T) {
+	_, c := newTestServer(t, Config{
+		Workers: 1, MaxActiveJobs: 1, CellDelay: 20 * time.Millisecond,
+	})
+	ctx := context.Background()
+	first, err := c.Submit(ctx, testSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, first.ID, StateRunning)
+	second, err := c.Submit(ctx, testSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin1 := waitTerminal(t, c, first.ID)
+	if fin1.Preemptions != 0 {
+		t.Errorf("equal-priority submission preempted the running job: %+v", fin1)
+	}
+	sec, err := c.Status(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.State == StateDone {
+		t.Error("second job finished before the first it queued behind")
+	}
+	waitTerminal(t, c, second.ID)
+}
+
+// TestServicePreemptChild is the subprocess half of the preemption
+// byte-identity test: a one-runner daemon with a wide cell delay, so the
+// parent can preempt a batch job mid-flight. Skips unless the parent set
+// its data-dir environment variable.
+func TestServicePreemptChild(t *testing.T) {
+	dir := os.Getenv("CLOCKSCHED_SERVICE_PRIO_CHILD_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper; run via TestPreemptedResultByteIdentical")
+	}
+	s, err := New(Config{
+		DataDir:       dir,
+		Workers:       1,
+		MaxActiveJobs: 1,
+		CellDelay:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("addr %s\n", ln.Addr())
+	t.Fatal(http.Serve(ln, s))
+}
+
+// TestPreemptedResultByteIdentical is the preemption acceptance test: a
+// batch job is preempted mid-flight by an interactive job in a separate
+// daemon process, resumes from its cell journal, and its final result
+// bytes equal an uninterrupted local sweep's — preemption must be
+// invisible in the output.
+func TestPreemptedResultByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	child, base := startChild(t, "TestServicePreemptChild",
+		"CLOCKSCHED_SERVICE_PRIO_CHILD_DIR="+dir)
+	defer func() {
+		child.Process.Kill()
+		child.Wait()
+	}()
+	c := &Client{Base: base}
+
+	batch, err := c.SubmitWith(ctx, clocksched.NewSweepSpec(killGrid()),
+		SubmitOptions{Priority: PriorityBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let a few cells commit so the preemption lands mid-job, then submit
+	// the interactive job that bumps it.
+	ectx, ecancel := context.WithTimeout(ctx, 60*time.Second)
+	err = c.Events(ectx, batch.ID, func(ev Event) error {
+		if ev.Type == "progress" && ev.Done >= 3 {
+			return errSeenEnough
+		}
+		return nil
+	})
+	ecancel()
+	if err != errSeenEnough {
+		t.Fatalf("waiting for progress: %v", err)
+	}
+	inter, err := c.SubmitWith(ctx, testSpec(2), SubmitOptions{Priority: PriorityInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, wcancel := context.WithTimeout(ctx, 120*time.Second)
+	defer wcancel()
+	if fin, err := c.Wait(wctx, inter.ID, nil); err != nil || fin.State != StateDone {
+		t.Fatalf("interactive job: %+v, %v", fin, err)
+	}
+	final, err := c.Wait(wctx, batch.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Done != 12 {
+		t.Fatalf("preempted job ended %+v", final)
+	}
+	if final.Preemptions < 1 {
+		t.Fatalf("batch job was never preempted: %+v", final)
+	}
+	if final.Replayed < 3 {
+		t.Errorf("resumed job replayed %d cells, want >= 3", final.Replayed)
+	}
+
+	got, err := c.ResultBytes(wctx, batch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := clocksched.Sweep(ctx, killGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clocksched.EncodeSweepResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("preempted result (%d bytes) != uninterrupted local sweep (%d bytes)",
+			len(got), len(want))
+	}
+}

@@ -23,8 +23,21 @@
 //   - Each job's cell journal (dataDir/jobs/<id>/sweep.wal) plus the
 //     shared content-addressed cell cache (dataDir/cache) make the re-run
 //     cheap: completed cells replay instead of re-simulating.
+//   - Manifest compaction (the retention reaper dropping deleted jobs'
+//     records) is guarded by a backup copy: manifest.bak is written before
+//     the rewrite and merged back in on the next boot if the rewrite was
+//     torn, so an accepted job's submit record can never be lost to a
+//     crash mid-compaction.
 //   - Everything else — queue order, progress counts, subscriber state —
 //     is in-memory and rebuilt or recomputed on boot.
+//
+// Scheduling: jobs carry a Priority class (batch < normal < interactive).
+// The queue pops the highest class first (FIFO within a class), and an
+// interactive submission arriving while every runner is busy preempts the
+// lowest-class running job at its next quantum boundary. Preemption is
+// cheap by construction: the victim's completed cells are already in its
+// cell journal, so when it re-runs they replay instead of re-simulating,
+// and its final result bytes are identical to a never-preempted run.
 package service
 
 import (
@@ -49,15 +62,24 @@ import (
 // Service-level metric names, exported on /metrics alongside each job's
 // scoped registry.
 const (
-	mJobsQueued   = "service_jobs_queued"
-	mJobsActive   = "service_jobs_active"
-	mJobsDone     = `service_jobs_total{state="done"}`
-	mJobsFailed   = `service_jobs_total{state="failed"}`
-	mJobsCanceled = `service_jobs_total{state="cancelled"}`
-	mRejectedFull = `service_rejects_total{reason="queue_full"}`
-	mRejectedVer  = `service_rejects_total{reason="version_mismatch"}`
-	mRejectedSpec = `service_rejects_total{reason="invalid_spec"}`
-	mRejectedDrn  = `service_rejects_total{reason="draining"}`
+	mJobsQueued     = "service_jobs_queued"
+	mJobsActive     = "service_jobs_active"
+	mJobsDone       = `service_jobs_total{state="done"}`
+	mJobsFailed     = `service_jobs_total{state="failed"}`
+	mJobsCanceled   = `service_jobs_total{state="cancelled"}`
+	mRejectedFull   = `service_rejects_total{reason="queue_full"}`
+	mRejectedVer    = `service_rejects_total{reason="version_mismatch"}`
+	mRejectedSpec   = `service_rejects_total{reason="invalid_spec"}`
+	mRejectedDrn    = `service_rejects_total{reason="draining"}`
+	mRejectedQuota  = `service_rejects_total{reason="quota_exceeded"}`
+	mRejectedAuth   = `service_rejects_total{reason="unauthorized"}`
+	mPreemptions    = "service_preemptions_total"
+	mManifestErrs   = "service_manifest_errors_total"
+	mCompactions    = "service_manifest_compactions_total"
+	mGCRuns         = "service_gc_runs_total"
+	mGCJobsDeleted  = "service_gc_jobs_deleted_total"
+	mGCBytesDeleted = "service_gc_bytes_freed_total"
+	mDataBytes      = "service_data_bytes"
 )
 
 // Config tunes one Server. The zero value of every field but DataDir is
@@ -69,7 +91,8 @@ type Config struct {
 	// MaxQueue bounds the admission queue: at most this many jobs may be
 	// waiting (not yet running) before submissions are rejected with 429.
 	// Non-positive selects 16. Jobs recovered from the manifest on boot
-	// are admitted above the bound — they were accepted before the crash.
+	// and jobs re-queued by preemption are admitted above the bound —
+	// they were accepted before.
 	MaxQueue int
 	// MaxActiveJobs bounds how many jobs run concurrently; the worker
 	// budget is split evenly between them. Non-positive selects 2.
@@ -86,6 +109,29 @@ type Config struct {
 	// milliseconds, far too fast to kill a daemon mid-job on purpose; the
 	// crash tests widen the window with this. Zero for production.
 	CellDelay time.Duration
+	// Auth, when non-nil, requires a bearer token from the table on every
+	// endpoint but /healthz, and enforces each client's quota at
+	// admission. Nil disables authentication entirely.
+	Auth *AuthTable
+	// RetainResults, when positive, bounds how many terminal jobs the
+	// retention reaper keeps; the oldest beyond the bound are deleted
+	// (result bytes, cell journal, manifest records). Zero keeps
+	// everything.
+	RetainResults int
+	// MaxDataBytes, when positive, bounds the on-disk footprint of
+	// dataDir/jobs; when exceeded, the reaper deletes terminal jobs
+	// oldest-first until back under. Queued, running, and preempted jobs
+	// are never touched. Zero is unlimited.
+	MaxDataBytes int64
+	// GCInterval is the reaper's cadence when retention is armed.
+	// Non-positive selects 1 minute.
+	GCInterval time.Duration
+	// FS, when non-nil, routes every durable write the daemon performs —
+	// manifest appends and fsyncs, manifest compaction, result-file
+	// writes, cell-journal appends, cache entry files — through an
+	// injectable filesystem surface. The chaos harness arms it with a
+	// fault.DiskInjector; production leaves it nil (the real filesystem).
+	FS journal.FS
 }
 
 // withDefaults resolves the zero fields.
@@ -102,16 +148,22 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
 	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = time.Minute
+	}
 	return c
 }
 
 // JobState is a job's lifecycle position. Terminal states are StateDone,
-// StateFailed, and StateCancelled.
+// StateFailed, and StateCancelled. StatePreempted is a waiting state: the
+// job was pushed off its runner by a higher-priority submission and sits
+// in the queue with its completed cells journaled.
 type JobState string
 
 const (
 	StateQueued    JobState = "queued"
 	StateRunning   JobState = "running"
+	StatePreempted JobState = "preempted"
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
@@ -124,31 +176,48 @@ func (s JobState) terminal() bool {
 
 // manifestRecord is one entry of the job manifest WAL.
 type manifestRecord struct {
-	Op    string                `json:"op"` // "submit" | "state"
-	ID    string                `json:"id"`
-	Spec  *clocksched.SweepSpec `json:"spec,omitempty"`
-	State JobState              `json:"state,omitempty"`
-	Error string                `json:"error,omitempty"`
+	Op       string                `json:"op"` // "submit" | "state" | "meta"
+	ID       string                `json:"id,omitempty"`
+	Spec     *clocksched.SweepSpec `json:"spec,omitempty"`
+	State    JobState              `json:"state,omitempty"`
+	Error    string                `json:"error,omitempty"`
+	Priority Priority              `json:"priority,omitempty"`
+	Client   string                `json:"client,omitempty"`
+	// NextID rides on "meta" records, written at compaction: once the
+	// reaper drops a deleted job's submit record, the id counter can no
+	// longer be recomputed from the surviving ids, and without this a
+	// reboot could hand a deleted job's id to a new job.
+	NextID int `json:"next_id,omitempty"`
 }
 
 // job is the server-side record of one submitted sweep.
 type job struct {
-	id    string
-	spec  clocksched.SweepSpec
-	dir   string // dataDir/jobs/<id>
-	total int    // grid size
+	id       string
+	spec     clocksched.SweepSpec
+	dir      string // dataDir/jobs/<id>
+	total    int    // grid size
+	priority Priority
+	client   string // authenticated submitter, "" if anonymous
+	seq      int    // admission order, for FIFO within a priority class
 
-	mu        sync.Mutex
-	state     JobState
-	errText   string // terminal failure text
-	done      int    // completed cells
-	replayed  int    // cells recovered via journal replay on the last run
-	cancelled bool   // user asked for cancellation
-	cancel    context.CancelFunc
-	tel       *clocksched.Telemetry
-	subs      map[chan Event]struct{}
-	submitted time.Time
+	mu          sync.Mutex
+	state       JobState
+	errText     string // terminal failure text
+	done        int    // completed cells
+	replayed    int    // cells recovered via journal replay on the last run
+	cancelled   bool   // user asked for cancellation
+	preempt     bool   // a higher-priority job asked for this one's runner
+	preemptions int    // times this job has been preempted
+	exempt      bool   // queued above the admission bound (recovery, preemption)
+	cancel      context.CancelFunc
+	tel         *clocksched.Telemetry
+	subs        map[chan Event]struct{}
+	evSeq       int64 // monotonically increasing event id (per process)
+	submitted   time.Time
 }
+
+// rank is the job's scheduling rank; larger runs first.
+func (j *job) rank() int { return j.priority.rank() }
 
 // Event is one job lifecycle or progress notification, streamed to
 // /v1/jobs/{id}/events subscribers.
@@ -162,6 +231,11 @@ type Event struct {
 	// Error carries the terminal failure text with a "state" event of
 	// StateFailed.
 	Error string `json:"error,omitempty"`
+	// Seq is the event's per-job sequence number, carried as the SSE id
+	// so a reconnecting client can resume with Last-Event-ID. It resets
+	// when the daemon restarts (a restarted daemon re-sends a snapshot,
+	// which is exactly what a reconnecting client needs).
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // Server owns the job table, the admission queue, and the runner pool. It
@@ -174,15 +248,21 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for listing
-	queue    []*job   // admission queue (head runs next)
-	queued   int      // len(queue) minus cancelled entries
-	recovery int      // boot-recovered jobs still queued, exempt from MaxQueue
+	queue    []*job   // admission queue (popLocked picks by priority)
+	queued   int      // queue entries not yet popped (gauge)
+	admitted int      // non-exempt queue entries, counted against MaxQueue
 	draining bool
 	closed   bool
 	nextID   int
+	nextSeq  int
 
-	cond     *sync.Cond // signals runners: queue non-empty or shutdown
-	manifest *journal.Writer
+	cond *sync.Cond // signals runners: queue non-empty or shutdown
+
+	// manifestMu guards the manifest writer — appends, syncs, the
+	// close/rewrite/reopen of compaction. Lock order: s.mu may be held
+	// when taking manifestMu (Submit, GC); never the reverse.
+	manifestMu sync.Mutex
+	manifest   *journal.Writer
 
 	muxOnce sync.Once
 	muxVal  *http.ServeMux
@@ -190,13 +270,18 @@ type Server struct {
 	runCtx    context.Context // cancelled on Close (hard stop)
 	cancelRun context.CancelFunc
 	wg        sync.WaitGroup // runner goroutines
+
+	gcStop chan struct{}
+	gcOnce sync.Once
+	gcWg   sync.WaitGroup
 }
 
 // New builds the server, replaying the job manifest under cfg.DataDir:
 // jobs that reached a terminal state before the last shutdown stay
 // terminal (their results remain fetchable), and every queued or running
 // job is re-queued — with its cell journal, so completed cells replay
-// rather than re-simulate. Runner goroutines start immediately.
+// rather than re-simulate. Runner goroutines (and the retention reaper,
+// when configured) start immediately.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DataDir == "" {
@@ -211,12 +296,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: cache: %w", err)
 	}
+	if cfg.FS != nil {
+		cache.SetFS(cfg.FS)
+	}
 
 	s := &Server{
-		cfg:   cfg,
-		cache: cache,
-		reg:   telemetry.New(),
-		jobs:  map[string]*job{},
+		cfg:    cfg,
+		cache:  cache,
+		reg:    telemetry.New(),
+		jobs:   map[string]*job{},
+		gcStop: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
@@ -229,63 +318,108 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.runner()
 	}
+	if cfg.RetainResults > 0 || cfg.MaxDataBytes > 0 {
+		s.gcWg.Add(1)
+		go s.gcLoop()
+	}
 	return s, nil
 }
 
-// recover replays the manifest into the job table and reopens it for
-// appending.
-func (s *Server) recover() error {
-	path := s.manifestPath()
-	specs := map[string]*clocksched.SweepSpec{}
-	states := map[string]JobState{}
-	errs := map[string]string{}
-	var order []string
+// replayManifest accumulates one manifest file's records into the maps.
+// Missing files replay zero records; a torn tail is dropped by the
+// journal's CRC framing.
+func replayManifest(path string, specs map[string]*manifestRecord,
+	states map[string]JobState, errs map[string]string, order *[]string, nextID *int) error {
 	_, err := journal.ReplayFile(path, func(p []byte) error {
 		var rec manifestRecord
 		if err := json.Unmarshal(p, &rec); err != nil {
 			return fmt.Errorf("service: manifest %s: bad record: %w", path, err)
 		}
 		switch rec.Op {
+		case "meta":
+			if rec.NextID > *nextID {
+				*nextID = rec.NextID
+			}
 		case "submit":
 			if rec.ID == "" || rec.Spec == nil {
 				return fmt.Errorf("service: manifest %s: submit record missing id or spec", path)
 			}
 			if _, dup := specs[rec.ID]; !dup {
-				order = append(order, rec.ID)
+				*order = append(*order, rec.ID)
+				r := rec
+				specs[rec.ID] = &r
 			}
-			specs[rec.ID] = rec.Spec
 		case "state":
-			states[rec.ID] = rec.State
-			errs[rec.ID] = rec.Error
+			// Terminal wins: once any record says the job finished, a
+			// stale non-terminal record (from a merged backup) must not
+			// resurrect it into the queue.
+			if cur, ok := states[rec.ID]; !ok || !cur.terminal() {
+				states[rec.ID] = rec.State
+				errs[rec.ID] = rec.Error
+			}
 		default:
 			return fmt.Errorf("service: manifest %s: unknown op %q", path, rec.Op)
 		}
 		return nil
 	})
-	if err != nil {
+	return err
+}
+
+// recover replays the manifest into the job table and reopens it for
+// appending. If a compaction backup (manifest.bak) survived the last
+// shutdown, the compaction was interrupted: the backup is merged in —
+// union of submits, terminal-wins on states — and a fresh compaction
+// converges the pair back to one file.
+func (s *Server) recover() error {
+	path := s.manifestPath()
+	specs := map[string]*manifestRecord{}
+	states := map[string]JobState{}
+	errs := map[string]string{}
+	var order []string
+	if err := replayManifest(path, specs, states, errs, &order, &s.nextID); err != nil {
 		return err
+	}
+	bak := s.manifestBakPath()
+	_, bakErr := os.Stat(bak)
+	hadBak := bakErr == nil
+	if hadBak {
+		// The interrupted rewrite may have left manifest.wal holding any
+		// prefix of the compacted records; the backup holds everything
+		// that existed before the compaction began. The union can only
+		// add back jobs the reaper meant to delete — wasteful, never
+		// wrong — and the reaper deletes them again on its next pass.
+		if err := replayManifest(bak, specs, states, errs, &order, &s.nextID); err != nil {
+			return err
+		}
 	}
 
 	// Reopen for appending; the replay above already parsed the records,
 	// so the second scan only finds the append offset and drops any torn
 	// tail. The torn records (if any) were never acknowledged to a client
 	// — an fsync'd append is the admission commit point.
-	w, _, err := journal.Open(path, true, nil)
+	w, _, err := journal.OpenFS(path, true, nil, s.cfg.FS)
 	if err != nil {
 		return err
 	}
 	s.manifest = w
 
 	for _, id := range order {
-		spec := specs[id]
+		rec := specs[id]
 		j := &job{
-			id:    id,
-			spec:  *spec,
-			dir:   s.jobDir(id),
-			state: StateQueued,
-			subs:  map[chan Event]struct{}{},
+			id:       id,
+			spec:     *rec.Spec,
+			dir:      s.jobDir(id),
+			state:    StateQueued,
+			priority: rec.Priority,
+			client:   rec.Client,
+			seq:      s.nextSeq,
+			subs:     map[chan Event]struct{}{},
 		}
-		if cfg, err := spec.Config(); err == nil {
+		s.nextSeq++
+		if !j.priority.valid() || j.priority == "" {
+			j.priority = PriorityNormal
+		}
+		if cfg, err := rec.Spec.Config(); err == nil {
 			j.total = cfg.GridSize()
 		}
 		if st, ok := states[id]; ok && st.terminal() {
@@ -311,16 +445,27 @@ func (s *Server) recover() error {
 			// Recovered jobs re-enter the queue above the admission bound:
 			// they were admitted (and fsynced) before the crash, and
 			// rejecting them now would drop accepted work.
+			j.exempt = true
 			s.queue = append(s.queue, j)
 			s.queued++
-			s.recovery++
+		}
+	}
+
+	if hadBak {
+		// Converge: rewrite one clean manifest from the merged table, then
+		// drop the backup. New() is single-threaded, so no locks yet. If
+		// the rewrite fails (disk still faulty) the backup stays and the
+		// next boot merges again — idempotent.
+		if err := s.compactManifestLocked(); err == nil {
+			os.Remove(bak)
 		}
 	}
 	s.updateGauges()
 	return nil
 }
 
-func (s *Server) manifestPath() string { return filepath.Join(s.cfg.DataDir, "manifest.wal") }
+func (s *Server) manifestPath() string    { return filepath.Join(s.cfg.DataDir, "manifest.wal") }
+func (s *Server) manifestBakPath() string { return filepath.Join(s.cfg.DataDir, "manifest.bak") }
 func (s *Server) jobDir(id string) string {
 	return filepath.Join(s.cfg.DataDir, "jobs", id)
 }
@@ -353,12 +498,54 @@ func (s *Server) updateGauges() {
 	s.reg.Gauge(mJobsActive).Set(float64(active))
 }
 
-// Submit admits a job: version-checks and validates the spec, reserves a
-// queue slot, durably appends the submit record, and returns the new job's
-// status. The error is an *APIError describing the structured rejection
-// (version mismatch, invalid spec, queue full, draining) so both the HTTP
-// layer and in-process callers get the same classification.
+// appendManifest durably appends one record. Callers may hold s.mu (the
+// lock order is s.mu → manifestMu); they must not hold any j.mu.
+func (s *Server) appendManifest(rec manifestRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	if err := s.manifest.Append(b); err != nil {
+		return err
+	}
+	return s.manifest.Sync()
+}
+
+// SubmitOptions carries a submission's scheduling class and identity.
+type SubmitOptions struct {
+	// Priority is the job's scheduling class; empty selects
+	// PriorityNormal.
+	Priority Priority
+	// Client is the authenticated submitter, used for quota accounting
+	// and carried on the job's records and metric labels. Empty is
+	// anonymous (never quota-limited).
+	Client string
+}
+
+// Submit admits a job at normal priority with no client identity. See
+// SubmitWith.
 func (s *Server) Submit(spec clocksched.SweepSpec) (JobStatus, error) {
+	return s.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith admits a job: version-checks and validates the spec, enforces
+// the submitter's quota, reserves a queue slot, durably appends the submit
+// record, and returns the new job's status. If the submission outranks the
+// lowest-priority running job while every runner is busy, that job is
+// preempted at its next quantum boundary. The error is an *APIError
+// describing the structured rejection (version mismatch, invalid spec,
+// queue full, quota exceeded, draining) so both the HTTP layer and
+// in-process callers get the same classification.
+func (s *Server) SubmitWith(spec clocksched.SweepSpec, opts SubmitOptions) (JobStatus, error) {
+	if opts.Priority == "" {
+		opts.Priority = PriorityNormal
+	}
+	if !opts.Priority.valid() {
+		return JobStatus{}, &APIError{Status: 400, Code: CodeBadRequest,
+			Message: fmt.Sprintf("unknown priority %q", opts.Priority)}
+	}
 	cfg, err := spec.Config()
 	if err != nil {
 		s.reg.Counter(mRejectedVer).Inc()
@@ -380,7 +567,7 @@ func (s *Server) Submit(spec clocksched.SweepSpec) (JobStatus, error) {
 		s.reg.Counter(mRejectedDrn).Inc()
 		return JobStatus{}, &APIError{Status: 503, Code: CodeDraining, Message: "server is draining"}
 	}
-	if s.queued-s.recovery >= s.cfg.MaxQueue {
+	if s.admitted >= s.cfg.MaxQueue {
 		retry := s.cfg.RetryAfter
 		s.mu.Unlock()
 		s.reg.Counter(mRejectedFull).Inc()
@@ -391,6 +578,13 @@ func (s *Server) Submit(spec clocksched.SweepSpec) (JobStatus, error) {
 			RetryAfter: retry,
 		}
 	}
+	if apiErr := s.checkQuotaLocked(opts.Client, total); apiErr != nil {
+		retry := s.cfg.RetryAfter
+		s.mu.Unlock()
+		s.reg.Counter(mRejectedQuota).Inc()
+		apiErr.RetryAfter = retry
+		return JobStatus{}, apiErr
+	}
 	id := fmt.Sprintf("j%d", s.nextID)
 	s.nextID++
 	j := &job{
@@ -399,22 +593,26 @@ func (s *Server) Submit(spec clocksched.SweepSpec) (JobStatus, error) {
 		dir:       s.jobDir(id),
 		total:     total,
 		state:     StateQueued,
+		priority:  opts.Priority,
+		client:    opts.Client,
+		seq:       s.nextSeq,
 		subs:      map[chan Event]struct{}{},
 		submitted: time.Now(),
 	}
+	s.nextSeq++
 
 	// Durable admission: the submit record is fsynced before the job is
 	// acknowledged, so an accepted job survives any crash after this call
 	// returns. A failed append rejects the submission — accepting work we
 	// could lose would be worse than refusing it.
-	rec, err := json.Marshal(manifestRecord{Op: "submit", ID: id, Spec: &spec})
-	if err == nil {
-		if err = s.manifest.Append(rec); err == nil {
-			err = s.manifest.Sync()
-		}
-	}
+	err = s.appendManifest(manifestRecord{
+		Op: "submit", ID: id, Spec: &spec,
+		Priority: opts.Priority, Client: opts.Client,
+	})
 	if err != nil {
-		s.nextID-- // the id was never acknowledged
+		// The id is burned, not reused: the append may have landed before
+		// the fsync failed, and handing the same id to a different spec
+		// would make the boot-time replay resurrect the wrong job.
 		s.mu.Unlock()
 		return JobStatus{}, &APIError{Status: 500, Code: CodeInternal,
 			Message: fmt.Sprintf("recording submission: %v", err)}
@@ -424,16 +622,126 @@ func (s *Server) Submit(spec clocksched.SweepSpec) (JobStatus, error) {
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, j)
 	s.queued++
+	s.admitted++
 	s.updateGauges()
 	s.cond.Signal()
+	victim := s.preemptVictimLocked(j)
+	var preemptCancel context.CancelFunc
+	if victim != nil {
+		victim.mu.Lock()
+		victim.preempt = true
+		preemptCancel = victim.cancel
+		victim.mu.Unlock()
+	}
 	st := s.statusLocked(j)
 	s.mu.Unlock()
+
+	if preemptCancel != nil {
+		s.reg.Counter(mPreemptions).Inc()
+		preemptCancel()
+	}
 	return st, nil
 }
 
-// Cancel requests cancellation: a queued job turns terminal immediately; a
-// running one is cancelled at the next quantum boundary through the sweep
-// context. Cancelling a terminal job is a no-op reporting its final state.
+// checkQuotaLocked enforces the client's admission quota; the caller holds
+// s.mu. Anonymous clients and clients without a configured limit are
+// unlimited. The returned error (nil when within quota) carries the
+// client's current usage so the rejection is actionable.
+func (s *Server) checkQuotaLocked(client string, cells int) *APIError {
+	if client == "" || s.cfg.Auth == nil {
+		return nil
+	}
+	lim, ok := s.cfg.Auth.Limit(client)
+	if !ok || (lim.MaxQueued == 0 && lim.MaxCells == 0) {
+		return nil
+	}
+	usage := QuotaUsage{Client: client, MaxJobs: lim.MaxQueued, MaxCells: lim.MaxCells}
+	for _, j := range s.jobs {
+		if j.client != client {
+			continue
+		}
+		j.mu.Lock()
+		live := !j.state.terminal()
+		j.mu.Unlock()
+		if live {
+			usage.Jobs++
+			usage.Cells += j.total
+		}
+	}
+	overJobs := lim.MaxQueued > 0 && usage.Jobs+1 > lim.MaxQueued
+	overCells := lim.MaxCells > 0 && usage.Cells+cells > lim.MaxCells
+	if !overJobs && !overCells {
+		return nil
+	}
+	what := "jobs"
+	if overCells {
+		what = "cells"
+	}
+	return &APIError{
+		Status:  429,
+		Code:    CodeQuotaExceeded,
+		Message: fmt.Sprintf("client %q over %s quota", client, what),
+		Usage:   &usage,
+	}
+}
+
+// preemptVictimLocked decides whether admitting j warrants a preemption:
+// only when every runner is busy and the lowest-ranked running job ranks
+// strictly below j. Ties never preempt — churning equal-priority work
+// would waste quanta for no latency win. The caller holds s.mu.
+func (s *Server) preemptVictimLocked(j *job) *job {
+	running := 0
+	var victim *job
+	victimRank := 0
+	for _, cand := range s.jobs {
+		cand.mu.Lock()
+		isRunning := cand.state == StateRunning && !cand.preempt
+		cand.mu.Unlock()
+		if !isRunning {
+			continue
+		}
+		running++
+		r := cand.rank()
+		// Among equal-rank candidates prefer the youngest: it has had the
+		// least runtime, so the quantum thrown away is smallest.
+		if victim == nil || r < victimRank || (r == victimRank && cand.seq > victim.seq) {
+			victim, victimRank = cand, r
+		}
+	}
+	if running < s.cfg.MaxActiveJobs || victim == nil || victimRank >= j.rank() {
+		return nil
+	}
+	return victim
+}
+
+// popLocked removes and returns the best queue entry: highest priority
+// rank first, FIFO (lowest seq) within a rank. The caller holds s.mu and
+// has checked the queue is non-empty.
+func (s *Server) popLocked() *job {
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		a, b := s.queue[i], s.queue[best]
+		if a.rank() > b.rank() || (a.rank() == b.rank() && a.seq < b.seq) {
+			best = i
+		}
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	s.queued--
+	j.mu.Lock()
+	if j.exempt {
+		j.exempt = false
+	} else {
+		s.admitted--
+	}
+	j.mu.Unlock()
+	return j
+}
+
+// Cancel requests cancellation: a queued or preempted job turns terminal
+// immediately; a running one is cancelled at the next quantum boundary
+// through the sweep context. Cancelling a terminal job is a no-op
+// reporting its final state.
 func (s *Server) Cancel(id string) (JobStatus, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -449,7 +757,7 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	s.mu.Unlock()
 
 	switch state {
-	case StateQueued:
+	case StateQueued, StatePreempted:
 		// The runner discards cancelled queue entries, but turning the job
 		// terminal here makes cancellation immediate and synchronous.
 		s.finishJob(j, StateCancelled, "")
@@ -488,12 +796,15 @@ func (s *Server) statusLocked(j *job) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:       j.id,
-		State:    j.state,
-		Done:     j.done,
-		Total:    j.total,
-		Replayed: j.replayed,
-		Error:    j.errText,
+		ID:          j.id,
+		State:       j.state,
+		Done:        j.done,
+		Total:       j.total,
+		Replayed:    j.replayed,
+		Error:       j.errText,
+		Priority:    j.priority,
+		Client:      j.client,
+		Preemptions: j.preemptions,
 	}
 }
 
@@ -534,7 +845,8 @@ func (s *Server) subscribe(id string) (*job, chan Event, Event, error) {
 	ch := make(chan Event, 64)
 	j.mu.Lock()
 	j.subs[ch] = struct{}{}
-	snap := Event{Type: "state", State: j.state, Done: j.done, Total: j.total, Error: j.errText}
+	snap := Event{Type: "state", State: j.state, Done: j.done, Total: j.total,
+		Error: j.errText, Seq: j.evSeq}
 	j.mu.Unlock()
 	return j, ch, snap, nil
 }
@@ -545,13 +857,15 @@ func (j *job) unsubscribe(ch chan Event) {
 	j.mu.Unlock()
 }
 
-// publish fans an event to the job's subscribers without ever blocking: a
-// subscriber that has fallen 64 events behind loses its oldest buffered
-// event to make room for a state transition, and merely misses
-// intermediate progress events — the next one it reads carries the current
-// done-count anyway.
+// publish stamps the event with the job's next sequence number and fans it
+// to the subscribers without ever blocking: a subscriber that has fallen
+// 64 events behind loses its oldest buffered event to make room for a
+// state transition, and merely misses intermediate progress events — the
+// next one it reads carries the current done-count anyway.
 func (j *job) publish(ev Event) {
 	j.mu.Lock()
+	j.evSeq++
+	ev.Seq = j.evSeq
 	chans := make([]chan Event, 0, len(j.subs))
 	for ch := range j.subs {
 		chans = append(chans, ch)
@@ -589,12 +903,7 @@ func (s *Server) runner() {
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
-		s.queued--
-		if s.recovery > 0 {
-			s.recovery--
-		}
+		j := s.popLocked()
 
 		j.mu.Lock()
 		if j.cancelled || j.state.terminal() {
@@ -607,6 +916,7 @@ func (s *Server) runner() {
 		}
 		ctx, cancel := context.WithCancel(s.runCtx)
 		j.state = StateRunning
+		j.preempt = false
 		j.cancel = cancel
 		j.tel = clocksched.NewTelemetry()
 		j.mu.Unlock()
@@ -619,7 +929,8 @@ func (s *Server) runner() {
 	}
 }
 
-// execute runs one job to a terminal state (or back to queued on a drain).
+// execute runs one job to a terminal state (or back to a waiting state on
+// a drain or preemption).
 func (s *Server) execute(ctx context.Context, j *job) {
 	cfg, err := j.spec.Config()
 	if err != nil {
@@ -640,9 +951,11 @@ func (s *Server) execute(ctx context.Context, j *job) {
 	cfg.Cache = s.cache
 	cfg.Journal = s.walPath(j.id)
 	// Resume unconditionally: a fresh journal replays nothing, a journal
-	// left by a killed daemon replays every committed cell.
+	// left by a killed daemon (or a preemption) replays every committed
+	// cell.
 	cfg.Resume = true
 	cfg.Telemetry = j.tel
+	cfg.FS = s.cfg.FS
 	// The first progress call of a resumed sweep carries the replayed
 	// count (see SweepConfig.Progress), so a restarted job's done-count
 	// starts where the killed daemon left off.
@@ -668,13 +981,14 @@ func (s *Server) execute(ctx context.Context, j *job) {
 
 	j.mu.Lock()
 	userCancel := j.cancelled
+	preempted := j.preempt
 	j.mu.Unlock()
 
 	switch {
 	case sweepErr == nil:
 		enc, err := clocksched.EncodeSweepResult(res)
 		if err == nil {
-			err = writeFileAtomic(s.resultPath(j.id), enc)
+			err = writeFileAtomic(s.resultPath(j.id), enc, s.cfg.FS)
 		}
 		if err != nil {
 			s.finishJob(j, StateFailed, fmt.Sprintf("storing result: %v", err))
@@ -683,6 +997,25 @@ func (s *Server) execute(ctx context.Context, j *job) {
 		s.finishJob(j, StateDone, "")
 	case userCancel:
 		s.finishJob(j, StateCancelled, "")
+	case preempted && s.runCtx.Err() == nil:
+		// Preempted by a higher-priority submission (not a shutdown): back
+		// into the queue above the admission bound, completed cells safely
+		// journaled. The runner this frees picks the preemptor next.
+		j.mu.Lock()
+		j.state = StatePreempted
+		j.preempt = false
+		j.preemptions++
+		j.cancel = nil
+		j.exempt = true
+		done := j.done
+		j.mu.Unlock()
+		s.mu.Lock()
+		s.queue = append(s.queue, j)
+		s.queued++
+		s.updateGauges()
+		s.cond.Signal()
+		s.mu.Unlock()
+		j.publish(Event{Type: "state", State: StatePreempted, Done: done, Total: j.total})
 	case ctx.Err() != nil:
 		// Shutdown or drain, not the user: the job goes back to queued —
 		// in memory for this process's lifetime, and on the next boot via
@@ -717,16 +1050,11 @@ func (s *Server) finishJob(j *job, state JobState, errText string) {
 	done, total := j.done, j.total
 	j.mu.Unlock()
 
-	rec, err := json.Marshal(manifestRecord{Op: "state", ID: j.id, State: state, Error: errText})
-	if err == nil {
-		if err = s.manifest.Append(rec); err == nil {
-			err = s.manifest.Sync()
-		}
-	}
+	err := s.appendManifest(manifestRecord{Op: "state", ID: j.id, State: state, Error: errText})
 	if err != nil {
 		// The job re-runs on the next boot; for this process's lifetime
 		// the in-memory state stands.
-		s.reg.Counter(`service_manifest_errors_total`).Inc()
+		s.reg.Counter(mManifestErrs).Inc()
 	}
 
 	switch state {
@@ -764,6 +1092,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.cancelRun()
 		<-finished
 	}
+	s.stopGC()
 	return s.closeManifest()
 }
 
@@ -780,27 +1109,48 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.cancelRun()
 	s.wg.Wait()
+	s.stopGC()
 	return s.closeManifest()
+}
+
+// stopGC stops the retention reaper (idempotent) and waits for an
+// in-flight pass: the reaper touches the manifest, so it must be quiescent
+// before closeManifest.
+func (s *Server) stopGC() {
+	s.gcOnce.Do(func() { close(s.gcStop) })
+	s.gcWg.Wait()
 }
 
 func (s *Server) closeManifest() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
 	return s.manifest.Close()
 }
 
 // writeFileAtomic writes bytes via a same-directory temp file, fsync, and
-// rename, so the destination is never observable half-written.
-func writeFileAtomic(path string, b []byte) error {
+// rename, so the destination is never observable half-written. A non-nil
+// fs routes the write, fsync, and rename through the injectable surface.
+func writeFileAtomic(path string, b []byte, fs journal.FS) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	_, werr := tmp.Write(b)
+	var werr error
+	if fs == nil {
+		_, werr = tmp.Write(b)
+	} else {
+		_, werr = fs.Write(tmp, b)
+	}
 	if werr == nil {
-		werr = tmp.Sync()
+		if fs == nil {
+			werr = tmp.Sync()
+		} else {
+			werr = fs.Sync(tmp)
+		}
 	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
@@ -808,11 +1158,15 @@ func writeFileAtomic(path string, b []byte) error {
 	if werr != nil {
 		return werr
 	}
-	return os.Rename(tmp.Name(), path)
+	if fs == nil {
+		return os.Rename(tmp.Name(), path)
+	}
+	return fs.Rename(tmp.Name(), path)
 }
 
 // scopes snapshots the metric export set: the service registry plus every
-// job's registry labelled job="<id>", in stable id order.
+// job's registry labelled job="<id>" (and client="…" when the job was
+// submitted with an identity), in stable id order.
 func (s *Server) scopes() []telemetry.Scoped {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -825,8 +1179,12 @@ func (s *Server) scopes() []telemetry.Scoped {
 		tel := j.tel
 		j.mu.Unlock()
 		if tel != nil {
+			labels := `job="` + id + `"`
+			if j.client != "" {
+				labels += `,client="` + j.client + `"`
+			}
 			out = append(out, telemetry.Scoped{
-				Labels: `job="` + id + `"`,
+				Labels: labels,
 				Reg:    tel.Registry(),
 			})
 		}

@@ -40,6 +40,7 @@ type Cache struct {
 	codec      Codec
 	dir        string // "" disables the disk layer
 	maxEntries int
+	fs         FS // injectable write/rename surface; nil = real filesystem
 
 	mu      sync.Mutex
 	ll      *list.List // front = most recently used
@@ -78,6 +79,17 @@ func (c *Cache) Instrument(reg *telemetry.Registry) {
 		getDisk:  reg.Histogram(telemetry.MCacheGetDiskSecs, telemetry.SecondsBuckets),
 		putH:     reg.Histogram(telemetry.MCachePutSecs, telemetry.SecondsBuckets),
 	})
+}
+
+// SetFS routes the cache's disk writes (entry files and their renames)
+// through the injectable filesystem surface. Call it before the cache sees
+// traffic — it exists so the chaos tests can make the disk layer
+// misbehave; production caches leave the default (real) filesystem.
+func (c *Cache) SetFS(fs FS) {
+	if c == nil {
+		return
+	}
+	c.fs = fs
 }
 
 // cacheEntry is one LRU slot.
@@ -209,22 +221,36 @@ func (c *Cache) PutEncoded(key string, v any) ([]byte, error) {
 		return b, nil
 	}
 	// Atomic write: a crashed or concurrent writer never leaves a torn
-	// file for Get to misread.
+	// file for Get to misread. (Under an injected torn rename the entry
+	// file can hold a prefix — which Get's decode-or-quarantine path treats
+	// as a miss, so a faulted write still only costs a re-run.)
 	path := c.path(key)
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}
-	if _, err := tmp.Write(b); err != nil {
+	werr := func() error {
+		if c.fs == nil {
+			_, err := tmp.Write(b)
+			return err
+		}
+		_, err := c.fs.Write(tmp, b)
+		return err
+	}()
+	if werr != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("sweep: cache write: %w", err)
+		return nil, fmt.Errorf("sweep: cache write: %w", werr)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	rename := os.Rename
+	if c.fs != nil {
+		rename = c.fs.Rename
+	}
+	if err := rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return nil, fmt.Errorf("sweep: cache write: %w", err)
 	}

@@ -37,6 +37,12 @@ import (
 	"clocksched/internal/telemetry"
 )
 
+// FS is the injectable filesystem surface the durability layer's writes
+// run through — an alias of journal.FS so one injector (the chaos tests
+// use *fault.DiskInjector) serves journal, cache, and service alike. Nil
+// means the real filesystem.
+type FS = journal.FS
+
 // attemptKey carries the zero-based retry attempt through the context into
 // the cell closure, so a deterministic simulation can salt its
 // fault-injection streams per attempt — giving each retry an independent
@@ -150,7 +156,14 @@ type journalTel struct {
 	commits, errs *telemetry.Counter
 }
 
-// OpenCellJournal opens (resume=false: truncates) the cell journal at path.
+// OpenCellJournal opens the cell journal at path; see OpenCellJournalFS.
+func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
+	return OpenCellJournalFS(path, resume, nil)
+}
+
+// OpenCellJournalFS opens (resume=false: truncates) the cell journal at path,
+// routing its durable writes — appends, fsyncs, and the compaction rewrite —
+// through fs (nil selects the real filesystem; chaos tests inject faults).
 // With resume, previously committed records are recovered — a torn tail
 // from a crash mid-append is dropped, never misread — and Recovered/Torn
 // report what was found. A record that passes the framing checksum but is
@@ -163,7 +176,7 @@ type journalTel struct {
 // duplicate commits and the already-truncated tail. Compaction preserves
 // exactly the recovered cell set — it changes the file, never the
 // semantics — and Compacted reports that it happened.
-func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
+func OpenCellJournalFS(path string, resume bool, fs FS) (*CellJournal, error) {
 	done := map[string]string{}
 	var order []string // first-commit order of distinct keys
 	parse := func(p []byte) error {
@@ -197,7 +210,7 @@ func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
 				}
 				payloads = append(payloads, rec)
 			}
-			if err := journal.Rewrite(path, payloads); err != nil {
+			if err := journal.RewriteFS(path, payloads, fs); err != nil {
 				return nil, fmt.Errorf("sweep: compacting journal %s: %w", path, err)
 			}
 			compacted = true
@@ -206,7 +219,7 @@ func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
 
 	// The records are already parsed (or the log is fresh); the second scan
 	// inside Open just finds the append offset and drops any torn tail.
-	w, _, err := journal.Open(path, resume, nil)
+	w, _, err := journal.OpenFS(path, resume, nil, fs)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -91,6 +92,23 @@ type SweepConfig struct {
 	// RetryBase is the first backoff delay, doubling per attempt (jittered,
 	// capped at 5s); zero selects 100ms.
 	RetryBase time.Duration
+	// FS, when non-nil, routes the sweep's durable writes — journal
+	// appends and fsyncs, and the journal compaction rewrite — through an
+	// injectable filesystem surface. It exists for crash/chaos testing
+	// (the sweep service threads its disk-fault injector here); production
+	// sweeps leave it nil, the real filesystem. Like Workers and Cache it
+	// is a runtime resource, excluded from cache keys and SweepSpecs.
+	FS DiskFS
+}
+
+// DiskFS is the injectable filesystem surface for durable sweep state:
+// writes, fsyncs, and renames. The internal chaos-test disk injector
+// implements it; so does any test double. A nil DiskFS always means the
+// real filesystem.
+type DiskFS interface {
+	Write(f *os.File, p []byte) (int, error)
+	Sync(f *os.File) error
+	Rename(oldpath, newpath string) error
 }
 
 // SweepCell is one completed cell of a sweep.
@@ -349,7 +367,7 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	var jr *sweep.CellJournal
 	if cfg.Journal != "" {
 		var err error
-		jr, err = sweep.OpenCellJournal(cfg.Journal, cfg.Resume)
+		jr, err = sweep.OpenCellJournalFS(cfg.Journal, cfg.Resume, cfg.FS)
 		if err != nil {
 			return nil, err
 		}
@@ -468,6 +486,14 @@ func NewSweepCache(maxEntries int, dir string) (*SweepCache, error) {
 		return nil, err
 	}
 	return &SweepCache{inner: inner}, nil
+}
+
+// SetFS routes the cache's disk writes through an injectable filesystem
+// surface (see DiskFS). Call it once, before the cache sees traffic; the
+// sweep service does this at boot when chaos faults are armed. Production
+// caches leave the default (real) filesystem.
+func (c *SweepCache) SetFS(fs DiskFS) {
+	c.inner.SetFS(fs)
 }
 
 // Stats reports the cache's traffic counters.
