@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race bench-sweep
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race bench-sweep bench-guard
 
 build:
 	$(GO) build ./...
@@ -71,5 +71,12 @@ chaos-race:
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race
+# Serial-throughput regression guard: reruns the reference grid on one
+# worker and fails if cells/sec drops below half the committed
+# BENCH_sweep.json figure. Rerun `make bench-sweep` to re-baseline after an
+# intentional change.
+bench-guard:
+	$(GO) run ./cmd/benchsweep -guard -baseline BENCH_sweep.json
+
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race bench-guard
 	@echo "check: all tiers passed"

@@ -105,27 +105,48 @@ type Policy struct {
 	// TargetPercent headroom. Up/Down/bounds are ignored.
 	Proportional  bool `json:"proportional,omitempty"`
 	TargetPercent int  `json:"target_percent,omitempty"`
+
+	// Ref, when non-nil, records that this policy was materialized from
+	// the policy registry (NewPolicy / a {"name", "params"} wire form):
+	// the resolved settings above drive the simulation, while Ref drives
+	// serialization and cache identity. Populated by the registry; see
+	// policyreg.go. Excluded from the flat JSON field form (the registry
+	// form replaces the whole object).
+	Ref *PolicyRef `json:"-"`
 }
 
 // ConstantPolicy returns the baseline policy: a fixed clock and voltage.
+//
+// Deprecated: use the policy registry — NewPolicy("constant",
+// map[string]float64{"mhz": mhz, "low_voltage": 1}) or the equivalent
+// PolicyRef wire form — which covers these presets and every future
+// policy family uniformly. The constructor remains for compatibility and
+// produces an identical simulation.
 func ConstantPolicy(mhz float64, lowVoltage bool) Policy {
 	return Policy{Constant: true, MHz: mhz, LowVoltage: lowVoltage}
 }
 
 // PASTPegPeg returns the best policy the paper found: PAST prediction,
 // peg-peg speed setting, scale up above 98% and down below 93%.
+//
+// Deprecated: use NewPolicy("past-peg-peg", nil); see ConstantPolicy.
 func PASTPegPeg() Policy {
 	return Policy{AvgN: 0, Up: Peg, Down: Peg, LoPercent: 93, HiPercent: 98}
 }
 
 // PeringAvgN returns the AVG_N policy with Pering et al.'s 50%/70% bounds
 // and the given speed setters.
+//
+// Deprecated: use NewPolicy("pering-avg-n", ...) with setter codes 0 (one),
+// 1 (double), 2 (peg); see ConstantPolicy.
 func PeringAvgN(n int, up, down SpeedSetter) Policy {
 	return Policy{AvgN: n, Up: up, Down: down, LoPercent: 50, HiPercent: 70}
 }
 
 // DeadlinePolicy returns the application-informed deadline scheduler of the
 // paper's future-work section.
+//
+// Deprecated: use NewPolicy("deadline", ...); see ConstantPolicy.
 func DeadlinePolicy(voltageScale bool) Policy {
 	return Policy{Deadline: true, VoltageScale: voltageScale}
 }
@@ -133,6 +154,8 @@ func DeadlinePolicy(voltageScale bool) Policy {
 // ProportionalPolicy returns the ondemand-ancestor proportional governor:
 // PAST-class prediction (AVG_N) scaled directly into a step against the
 // target utilization.
+//
+// Deprecated: use NewPolicy("proportional", ...); see ConstantPolicy.
 func ProportionalPolicy(n, targetPercent int) Policy {
 	return Policy{Proportional: true, AvgN: n, TargetPercent: targetPercent}
 }
@@ -552,12 +575,17 @@ func (r *Result) TraceSeq() iter.Seq[UtilPoint] {
 // TraceLen reports how many trace points TraceSeq will yield.
 func (r *Result) TraceLen() int { return len(r.trace) }
 
-// Run executes one measurement run.
+// Run executes one measurement run. It is exactly
+// RunContext(context.Background(), cfg) — one entry point, one validation
+// path — and exists for callers with no cancellation needs. New code that
+// might ever want timeouts or cancellation should call RunContext directly.
 func Run(cfg Config) (*Result, error) {
 	return RunContext(context.Background(), cfg)
 }
 
-// RunContext executes one measurement run under a context. Cancellation is
+// RunContext executes one measurement run under a context, and is the
+// primary entry point (Run is a documented alias). All validation happens
+// here, via Config.Validate, so the two can never drift. Cancellation is
 // observed at quantum boundaries — every 10 ms of simulated time — so the
 // run aborts promptly with an error satisfying errors.Is(err, ctx.Err()).
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
@@ -587,7 +615,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		EnergyJoules:    out.EnergyJ,
 		AvgPowerWatts:   out.AvgPowerW,
-		PeakPowerWatts:  out.Capture.PeakPower(),
+		PeakPowerWatts:  out.DAQ.PeakW,
 		MeanUtilization: out.MeanUtil,
 		Deadlines:       col.Count(),
 		Misses:          col.MissCount(sim.Duration(slack / time.Microsecond)),
@@ -600,7 +628,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.Telemetry = RunTelemetry{
 		EventsFired: out.Kernel.Engine().Fired(),
 		Quanta:      len(out.Kernel.UtilLog()),
-		DAQSamples:  len(out.Capture.Samples),
+		DAQSamples:  out.DAQ.Samples,
 	}
 	// The spec carries the unwrapped policy (the watchdog wraps a local
 	// copy), but see through a wrapper anyway in case that changes.

@@ -5,10 +5,17 @@
 // baseline, and records per-count throughput to a JSON file for the
 // repo's benchmark history.
 //
+// Every leg records the GOMAXPROCS and CPU count it actually ran with, and
+// a single-CPU host cannot publish multi-worker "speedups": those legs are
+// annotated as concurrency-overhead measurements and any apparent speedup
+// on one CPU fails the run rather than entering the benchmark history.
+//
 // Usage:
 //
 //	benchsweep                     # BENCH_sweep.json, 1/2/4/NumCPU ladder
 //	benchsweep -workers 8 -out BENCH_sweep.json
+//	benchsweep -guard              # serial-only regression check against
+//	                               # the committed BENCH_sweep.json
 package main
 
 import (
@@ -28,21 +35,31 @@ import (
 // run is one timed leg of the ladder.
 type run struct {
 	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
 	Seconds     float64 `json:"seconds"`
 	CellsPerSec float64 `json:"cells_per_sec"`
 	Speedup     float64 `json:"speedup"`
 	Identical   bool    `json:"identical"`
+	// Note flags legs whose Speedup must not be read as parallel scaling
+	// (multi-worker legs on a single-CPU host).
+	Note string `json:"note,omitempty"`
 }
 
 // report is the schema of BENCH_sweep.json.
 type report struct {
-	Grid          string  `json:"grid"`
-	Cells         int     `json:"cells"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	NumCPU        int     `json:"num_cpu"`
-	SerialSeconds float64 `json:"serial_seconds"`
-	Runs          []run   `json:"runs"`
+	Grid              string  `json:"grid"`
+	SimVersion        string  `json:"sim_version"`
+	Cells             int     `json:"cells"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	NumCPU            int     `json:"num_cpu"`
+	SerialSeconds     float64 `json:"serial_seconds"`
+	SerialCellsPerSec float64 `json:"serial_cells_per_sec"`
+	Note              string  `json:"note,omitempty"`
+	Runs              []run   `json:"runs"`
 }
+
+const singleCPUNote = "single-CPU host: multi-worker legs measure scheduling overhead, not parallel speedup"
 
 func table2Config(workers int) clocksched.SweepConfig {
 	best := clocksched.PASTPegPeg()
@@ -81,6 +98,64 @@ func ladder(extra int) []int {
 	return out
 }
 
+// timeSerial runs the reference grid on one worker and returns the result
+// with its wall-clock time. An untimed warmup pass runs first so the timed
+// figure does not carry first-touch costs (heap growth, page faults) that
+// would make every later leg look spuriously faster than the baseline.
+func timeSerial() (*clocksched.SweepResult, time.Duration, error) {
+	if _, err := clocksched.Sweep(context.Background(), table2Config(1)); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := clocksched.Sweep(context.Background(), table2Config(1))
+	return res, time.Since(start), err
+}
+
+// guard compares current serial throughput against the committed baseline,
+// failing when it drops below (1 − tolerance) of the recorded figure. It is
+// the `make bench-guard` tier: cheap enough for every check run, loose
+// enough not to trip on machine noise, tight enough to catch a hot-path
+// regression that halves throughput.
+func guard(baselinePath string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	want := base.SerialCellsPerSec
+	if want == 0 && base.SerialSeconds > 0 {
+		// Baselines written before serial_cells_per_sec existed.
+		want = float64(base.Cells) / base.SerialSeconds
+	}
+	if want <= 0 {
+		return fmt.Errorf("baseline %s has no serial throughput figure", baselinePath)
+	}
+	res, serialTime, err := timeSerial()
+	if err != nil {
+		return fmt.Errorf("serial grid: %w", err)
+	}
+	got := float64(len(res.Cells)) / serialTime.Seconds()
+	floor := want * (1 - tolerance)
+	status := "ok"
+	if got < floor {
+		status = "REGRESSION"
+	}
+	fmt.Printf("bench-guard: serial %.1f cells/s vs baseline %.1f (floor %.1f, tolerance %.0f%%): %s\n",
+		got, want, floor, tolerance*100, status)
+	if base.SimVersion != "" && base.SimVersion != clocksched.SimVersion() {
+		fmt.Printf("bench-guard: note: baseline recorded under %s, current %s\n",
+			base.SimVersion, clocksched.SimVersion())
+	}
+	if got < floor {
+		return fmt.Errorf("serial throughput %.1f cells/s below floor %.1f (baseline %.1f): rerun `make bench-sweep` if intentional",
+			got, floor, want)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		out         = flag.String("out", "BENCH_sweep.json", "report file")
@@ -94,24 +169,41 @@ func main() {
 			"per-cell retry budget for transient failures on the ladder legs")
 		progress = flag.Bool("progress", false,
 			"print per-cell completion counts; resumed runs start at the replayed count")
+		guardMode = flag.Bool("guard", false,
+			"regression-check serial throughput against -baseline instead of recording a ladder")
+		baseline  = flag.String("baseline", "BENCH_sweep.json", "committed report -guard compares against")
+		tolerance = flag.Float64("tolerance", 0.5,
+			"fraction of baseline serial throughput the -guard run may lose before failing")
 	)
 	flag.Parse()
 
-	start := time.Now()
-	serial, err := clocksched.Sweep(context.Background(), table2Config(1))
-	serialTime := time.Since(start)
+	if *guardMode {
+		if err := guard(*baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	serial, serialTime, err := timeSerial()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep: serial:", err)
 		os.Exit(1)
 	}
 
 	counts := ladder(*workers)
+	singleCPU := runtime.NumCPU() == 1
 	r := report{
-		Grid:          "table2: 5 policies x 10 seeds, MPEG 60s",
-		Cells:         len(serial.Cells),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
-		SerialSeconds: serialTime.Seconds(),
+		Grid:              "table2: 5 policies x 10 seeds, MPEG 60s",
+		SimVersion:        clocksched.SimVersion(),
+		Cells:             len(serial.Cells),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		SerialSeconds:     serialTime.Seconds(),
+		SerialCellsPerSec: float64(len(serial.Cells)) / serialTime.Seconds(),
+	}
+	if singleCPU {
+		r.Note = singleCPUNote
 	}
 	ok := true
 	for i, w := range counts {
@@ -154,17 +246,33 @@ func main() {
 		}
 		ok = ok && identical
 		leg := run{
-			Workers:   w,
-			Seconds:   legTime.Seconds(),
-			Identical: identical,
+			Workers:    w,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Seconds:    legTime.Seconds(),
+			Identical:  identical,
 		}
 		if legTime > 0 {
 			leg.CellsPerSec = float64(len(res.Cells)) / legTime.Seconds()
 			leg.Speedup = serialTime.Seconds() / legTime.Seconds()
 		}
+		if singleCPU && w > 1 {
+			// A "speedup" from more goroutines on one CPU is cache warmth
+			// or timer noise, not parallelism. Refuse to publish the claim:
+			// the recorded speedup is zeroed and the leg annotated, so a
+			// single-core container can never masquerade as a multi-core
+			// scaling result in the benchmark history.
+			leg.Note = singleCPUNote
+			if leg.Speedup > 1 {
+				fmt.Fprintf(os.Stderr,
+					"benchsweep: suppressing %.2fx apparent speedup with %d workers on 1 CPU\n",
+					leg.Speedup, w)
+			}
+			leg.Speedup = 0
+		}
 		r.Runs = append(r.Runs, leg)
-		fmt.Printf("%d cells, %d workers: %.3fs (%.1f cells/s, %.2fx), identical=%v\n",
-			len(res.Cells), w, leg.Seconds, leg.CellsPerSec, leg.Speedup, identical)
+		fmt.Printf("%d cells, %d workers (GOMAXPROCS %d, %d cpu): %.3fs (%.1f cells/s, %.2fx), identical=%v\n",
+			len(res.Cells), w, leg.GOMAXPROCS, leg.NumCPU, leg.Seconds, leg.CellsPerSec, leg.Speedup, identical)
 	}
 
 	b, err := json.MarshalIndent(r, "", "  ")
@@ -179,7 +287,7 @@ func main() {
 	}
 	fmt.Printf("serial %.3fs, %d ladder legs -> %s\n", r.SerialSeconds, len(r.Runs), *out)
 	if !ok {
-		fmt.Fprintln(os.Stderr, "benchsweep: a ladder leg diverged from the serial baseline")
+		fmt.Fprintln(os.Stderr, "benchsweep: a ladder leg diverged from the serial baseline or claimed an impossible speedup")
 		os.Exit(1)
 	}
 }

@@ -81,7 +81,15 @@ type Execution struct {
 
 // NewExecution starts executing b from the beginning.
 func NewExecution(b Burst) *Execution {
-	return &Execution{burst: b, remaining: 1}
+	e := StartExecution(b)
+	return &e
+}
+
+// StartExecution returns an Execution running b from the beginning, by
+// value, so callers owning the storage (the kernel's process table) can
+// start a burst without a per-action heap allocation.
+func StartExecution(b Burst) Execution {
+	return Execution{burst: b, remaining: 1}
 }
 
 // Done reports whether the burst has fully retired.

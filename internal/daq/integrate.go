@@ -1,0 +1,197 @@
+package daq
+
+import (
+	"fmt"
+
+	"clocksched/internal/power"
+	"clocksched/internal/sim"
+	"clocksched/internal/telemetry"
+)
+
+// Summary is the digest of one measurement window: everything the
+// experiment harnesses report (energy, average, peak, sample count)
+// without the materialized per-sample array a Capture carries.
+type Summary struct {
+	Config Config
+	Start  sim.Time
+	// Window is the requested capture span (end − start); the trailing
+	// partial interval, if any, is weighted accordingly in EnergyJ.
+	Window sim.Duration
+	// Samples is how many readings the instrument took.
+	Samples int
+	// EnergyJ is Σ pᵢ·Δt with the partial-window overhang refunded —
+	// the same integral Capture.Energy computes.
+	EnergyJ float64
+	// AvgPowerW is the mean of the readings, in watts.
+	AvgPowerW float64
+	// PeakW is the largest reading, in watts.
+	PeakW float64
+}
+
+// Duration returns the time span the summary covers.
+func (s Summary) Duration() sim.Duration {
+	if s.Window > 0 {
+		return s.Window
+	}
+	return sim.Duration(s.Samples) * s.Config.SampleInterval
+}
+
+// MeanCurrent returns the average supply current implied by the window, in
+// amperes, as the instrument operator would compute it from the shunt.
+func (s Summary) MeanCurrent() float64 {
+	if s.Config.SupplyVolts <= 0 {
+		return 0
+	}
+	return s.AvgPowerW / s.Config.SupplyVolts
+}
+
+// Integrate measures rec over [start, end) the way Sample does — one
+// reading every SampleInterval, quantized to the ADC grid — but folds the
+// readings into a Summary as it goes instead of materializing them.
+//
+// On a fault-free instrument it walks the recorder's piecewise-constant
+// segments directly: every reading inside one segment sees the same power,
+// so the segment is quantized once and weighted by its reading count. That
+// turns per-window cost from O(samples·log segments) into O(segments +
+// log samples) and eliminates the dominant allocation of a run. The
+// segment-ordered energy accumulation sums in a different order than the
+// sample-ordered loop in Capture.Energy, so totals may differ from the old
+// path at ULP scale — the clocksched-sim/4 measurement-path bump.
+//
+// With sample faults enabled (drops or glitches) every reading needs its
+// own RNG draw, so Integrate falls back to a per-sample walk that makes
+// draws in exactly the order Sample does, keeping fault schedules
+// bit-identical between the two paths.
+func Integrate(rec *power.Recorder, start, end sim.Time, cfg Config) (Summary, error) {
+	if err := cfg.validate(); err != nil {
+		return Summary{}, err
+	}
+	if start < 0 || end <= start {
+		return Summary{}, fmt.Errorf("daq: bad capture window [%v, %v)", start, end)
+	}
+	if end > rec.End() {
+		return Summary{}, fmt.Errorf("daq: capture window ends at %v but timeline ends at %v",
+			end, rec.End())
+	}
+	window := end - start
+	interval := cfg.SampleInterval
+	// Ceiling division: a trailing partial interval gets its own reading
+	// rather than being silently dropped from the energy integral.
+	n := int64((window + interval - 1) / interval)
+	sum := Summary{Config: cfg, Start: start, Window: window, Samples: int(n)}
+
+	points := rec.Points()
+	faulty := false
+	if in := cfg.Faults; in != nil {
+		p := in.Plan()
+		faulty = p.SampleDropProb > 0 || p.SampleGlitchProb > 0
+	}
+
+	var total, peak, last float64
+	// psum accumulates Σp on the per-sample path, where bit-identity with
+	// Capture.AveragePower (which divides Σp by n) is promised; the batched
+	// path recovers the mean from the energy total instead.
+	var psum float64
+	if faulty {
+		// Per-sample fallback: identical draw order to Sample.
+		tel := cfg.Telemetry
+		telDropped := tel.Counter(telemetry.MDAQSamplesDropped)
+		telGlitched := tel.Counter(telemetry.MDAQSamplesGlitched)
+		seg := 0
+		held := 0.0
+		for i := int64(0); i < n; i++ {
+			t := start + sim.Time(i)*interval
+			for seg+1 < len(points) && points[seg+1].At <= t {
+				seg++
+			}
+			if cfg.Faults.DropSample() {
+				telDropped.Inc()
+			} else {
+				w := points[seg].Watts
+				if g, ok := cfg.Faults.GlitchWatts(); ok {
+					telGlitched.Inc()
+					w += g
+				}
+				held = cfg.quantize(w)
+			}
+			total += held * interval.Seconds()
+			psum += held
+			if held > peak {
+				peak = held
+			}
+			last = held
+		}
+	} else {
+		// Segment-batched: quantize each timeline segment once and weight
+		// it by how many readings land inside it. Reading i falls in the
+		// segment whose span contains start + i·interval.
+		for seg := 0; seg < len(points); seg++ {
+			segStart := points[seg].At
+			segEnd := end
+			if seg+1 < len(points) && points[seg+1].At < end {
+				segEnd = points[seg+1].At
+			}
+			if segEnd <= start || segStart >= end {
+				continue
+			}
+			// First reading index at or after segStart, last before segEnd.
+			i0 := int64(0)
+			if segStart > start {
+				i0 = int64(segStart - start + interval - 1) / int64(interval)
+			}
+			i1 := int64(segEnd - start + interval - 1) / int64(interval)
+			if i1 > n {
+				i1 = n
+			}
+			if i1 <= i0 {
+				continue
+			}
+			q := cfg.quantize(points[seg].Watts)
+			total += q * float64(i1-i0) * interval.Seconds()
+			if q > peak {
+				peak = q
+			}
+			if i1 == n {
+				last = q
+			}
+		}
+	}
+
+	if covered := sim.Duration(n) * interval; window < covered {
+		// The last reading overhangs the window; refund the overhang.
+		total -= last * (covered - window).Seconds()
+	}
+	sum.EnergyJ = total
+	sum.PeakW = peak
+	if n > 0 {
+		if faulty {
+			sum.AvgPowerW = psum / float64(n)
+		} else {
+			// Mean of the readings: each reading contributed interval·p to
+			// the pre-refund total, so dividing by the full covered span
+			// recovers Σp/n up to summation order.
+			sum.AvgPowerW = (total + last*(sim.Duration(n)*interval-window).Seconds()) /
+				(sim.Duration(n) * interval).Seconds()
+		}
+	}
+
+	tel := cfg.Telemetry
+	tel.Counter(telemetry.MDAQCaptures).Inc()
+	tel.Counter(telemetry.MDAQSamples).Add(n)
+	return sum, nil
+}
+
+// Summarize folds an already-materialized capture into the same digest
+// Integrate produces, for callers that need both the raw samples and the
+// summary quantities.
+func Summarize(c Capture) Summary {
+	return Summary{
+		Config:    c.Config,
+		Start:     c.Start,
+		Window:    c.Window,
+		Samples:   len(c.Samples),
+		EnergyJ:   c.Energy(),
+		AvgPowerW: c.AveragePower(),
+		PeakW:     c.PeakPower(),
+	}
+}

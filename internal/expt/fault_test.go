@@ -71,7 +71,7 @@ func TestFaultedRunIsDeterministic(t *testing.T) {
 		t.Errorf("same seed+plan, different measurements: %v/%v/%v vs %v/%v/%v",
 			a.EnergyJ, a.AvgPowerW, a.MeanUtil, b.EnergyJ, b.AvgPowerW, b.MeanUtil)
 	}
-	if !reflect.DeepEqual(a.Capture.Samples, b.Capture.Samples) {
+	if a.DAQ.EnergyJ != b.DAQ.EnergyJ || a.DAQ.PeakW != b.DAQ.PeakW || a.DAQ.Samples != b.DAQ.Samples {
 		t.Error("same seed+plan, different DAQ captures")
 	}
 	if !reflect.DeepEqual(aLates, bLates) {
@@ -94,7 +94,7 @@ func TestNilPlanMatchesNoFaultLayer(t *testing.T) {
 	if outNil.EnergyJ != outZero.EnergyJ {
 		t.Errorf("nil plan %v J, zero plan %v J", outNil.EnergyJ, outZero.EnergyJ)
 	}
-	if !reflect.DeepEqual(outNil.Capture.Samples, outZero.Capture.Samples) {
+	if outNil.DAQ != outZero.DAQ {
 		t.Error("nil and zero plans produced different captures")
 	}
 	if outNil.Faults.Total() != 0 || outZero.Faults.Total() != 0 {

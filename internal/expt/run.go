@@ -82,7 +82,11 @@ type RunOutcome struct {
 	Spec     RunSpec
 	Workload workload.Workload
 	Kernel   *kernel.Kernel
-	Capture  daq.Capture
+	// DAQ is the instrument's digest of the run: sample count, energy,
+	// average and peak power. The per-sample array is no longer
+	// materialized on this path (daq.Sample remains available for callers
+	// that need raw readings).
+	DAQ daq.Summary
 
 	// Faults tallies what the injector actually did (zero when no plan
 	// was given).
@@ -234,7 +238,7 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 	dcfg := daq.DefaultConfig()
 	dcfg.Faults = inj
 	dcfg.Telemetry = spec.Telemetry
-	cap, err := daq.Sample(k.Recorder(), 0, length, dcfg)
+	sum, err := daq.Integrate(k.Recorder(), 0, length, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -243,11 +247,11 @@ func RunContext(ctx context.Context, spec RunSpec) (*RunOutcome, error) {
 		Spec:      spec,
 		Workload:  w,
 		Kernel:    k,
-		Capture:   cap,
+		DAQ:       sum,
 		Faults:    inj.Counts(),
 		Watchdog:  wd,
-		EnergyJ:   cap.Energy(),
-		AvgPowerW: cap.AveragePower(),
+		EnergyJ:   sum.EnergyJ,
+		AvgPowerW: sum.AvgPowerW,
 	}
 	if log := k.UtilLog(); len(log) > 0 {
 		sum := 0

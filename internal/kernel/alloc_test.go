@@ -1,0 +1,45 @@
+package kernel
+
+import (
+	"testing"
+
+	"clocksched/internal/cpu"
+	"clocksched/internal/sim"
+)
+
+// runQuanta builds a fresh engine+kernel over a busy process and runs it
+// for the given number of scheduling quanta.
+func runQuanta(t testing.TB, quanta int) {
+	eng := &sim.Engine{}
+	k, err := New(eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn(busyLoop{burst: cpu.Burst{Core: 2_000_000}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.Duration(quanta) * sim.Quantum); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantumStepAllocs pins the steady-state allocation cost of a
+// scheduling quantum at zero. The short and long runs share the same
+// setup-time allocations (kernel, spawn, preallocated logs), so their
+// difference isolates the per-quantum cost: event arming through the
+// prebound closures, the run-queue ring, the utilization log append, and
+// the power-recorder append must all reuse memory. A regression here —
+// a method-value closure handed to the engine, a per-quantum record, a
+// log growing past its preallocation — shows up as a fraction of an
+// allocation per quantum and fails the test long before it shows up in a
+// profile.
+func TestQuantumStepAllocs(t *testing.T) {
+	const short, long = 200, 1200
+	base := testing.AllocsPerRun(5, func() { runQuanta(t, short) })
+	full := testing.AllocsPerRun(5, func() { runQuanta(t, long) })
+	perQuantum := (full - base) / float64(long-short)
+	if perQuantum > 0.05 {
+		t.Errorf("steady-state quantum step allocates %.3f objects/quantum (short run %.0f, long run %.0f), want ~0",
+			perQuantum, base, full)
+	}
+}

@@ -43,7 +43,15 @@ type Config struct {
 	// limitations, we could only capture a subset of the process
 	// behavior." Zero means unbounded; once the cap is reached, further
 	// decisions go unrecorded (scheduling itself is unaffected).
+	// A non-zero cap implies RetainSchedLog.
 	SchedLogCap int
+	// RetainSchedLog keeps the full []SchedEntry record list for
+	// SchedLog(). By default the kernel folds every decision into the
+	// running LogStats digest and discards the record: a long run makes
+	// hundreds of thousands of decisions, and retaining them all was the
+	// single largest allocation of a sweep cell. AnalyzeLog works either
+	// way and reports identical numbers.
+	RetainSchedLog bool
 	// Faults, when non-nil, injects hardware and kernel misbehaviour:
 	// failed clock changes, extended PLL stalls, timer jitter, and
 	// dropped or delayed scheduler-log records. Nil injects nothing and
@@ -98,10 +106,27 @@ type Kernel struct {
 	eng *sim.Engine
 	cfg Config
 
-	procs   []*Process
-	runq    []*Process
-	cur     *Process
-	nextPID int
+	procs []*Process
+	// runq is a head-indexed ring: popping advances runqHead instead of
+	// re-slicing, so the round-robin queue churns no memory. The slice
+	// compacts when the dead prefix grows large and resets when drained.
+	runq     []*Process
+	runqHead int
+	cur      *Process
+	nextPID  int
+
+	// Event callbacks bound once in New. The clock interrupt re-arms
+	// itself every quantum; binding the method value once means re-arming
+	// allocates nothing (a `k.tick` method-value expression allocates a
+	// fresh closure at every evaluation).
+	tickFn       sim.Event
+	stallEndFn   sim.Event
+	voltSettleFn sim.Event
+
+	// powerW memoizes cfg.Model.Power for every (step, voltage, mode)
+	// combination — the state space is tiny (11×2×3) and setPowerState
+	// runs several times per quantum.
+	powerW [cpu.NumSteps][2][3]float64
 
 	step cpu.Step
 	volt cpu.Voltage
@@ -117,6 +142,7 @@ type Kernel struct {
 	busyQuantum   sim.Duration
 	rec           *power.Recorder
 	schedLog      []SchedEntry
+	logStats      logTally
 	utilLog       []UtilSample
 	speedChanges  int
 	failedChanges int
@@ -205,6 +231,25 @@ func New(eng *sim.Engine, cfg Config) (*Kernel, error) {
 	k.rec = power.NewRecorder(cfg.Model, power.State{
 		Step: k.step, V: k.powerVolt, Mode: power.ModeNap,
 	})
+	k.tickFn = k.tick
+	k.stallEndFn = func(t sim.Time) {
+		k.account(t)
+		k.stalling = false
+		k.dispatch(t)
+	}
+	k.voltSettleFn = func(t sim.Time) {
+		if k.volt == cpu.VLow {
+			k.powerVolt = cpu.VLow
+			k.setPowerState(t)
+		}
+	}
+	for s := cpu.MinStep; s <= cpu.MaxStep; s++ {
+		for _, v := range []cpu.Voltage{cpu.VHigh, cpu.VLow} {
+			for _, m := range []power.Mode{power.ModeNap, power.ModeActive, power.ModeStall} {
+				k.powerW[s][v][m] = cfg.Model.Power(power.State{Step: s, V: v, Mode: m})
+			}
+		}
+	}
 	reg := cfg.Telemetry
 	k.telQuanta = reg.Counter(telemetry.MKernelQuanta)
 	k.telUtil = reg.Histogram(telemetry.MKernelQuantumUtil, telemetry.UtilBuckets)
@@ -266,6 +311,12 @@ func (k *Kernel) Spawn(prog Program) (*Process, error) {
 		return nil, errors.New("kernel: Spawn after Run completed")
 	}
 	p := &Process{pid: k.nextPID, name: prog.Name(), prog: prog, kind: ActSleepFor}
+	p.completeFn = func(t sim.Time) { k.onCompletion(p, t) }
+	p.wakeFn = func(sim.Time) {
+		if p.state == StateSleeping {
+			k.Wake(p)
+		}
+	}
 	k.nextPID++
 	k.procs = append(k.procs, p)
 	// The process's first action is fetched when it is first scheduled.
@@ -308,8 +359,16 @@ func (k *Kernel) Run(until sim.Time) error {
 	if k.cfg.EventCap > 0 {
 		k.eng.MaxEvents = k.cfg.EventCap
 	}
+	// Preallocate the utilization log (one sample per quantum, so the
+	// final size is known up front) and hint the power timeline's density
+	// (a handful of mode changes per quantum in the common case).
+	quanta := int((until - k.eng.Now()) / k.cfg.Quantum)
+	if n := quanta + 2; cap(k.utilLog) < n {
+		k.utilLog = make([]UtilSample, len(k.utilLog), n)
+	}
+	k.rec.Grow(quanta*2 + 16)
 	// Arm the periodic clock interrupt.
-	if _, err := k.eng.At(k.eng.Now()+k.cfg.Quantum, k.tick); err != nil {
+	if _, err := k.eng.At(k.eng.Now()+k.cfg.Quantum, k.tickFn); err != nil {
 		return err
 	}
 	if k.cur == nil && !k.stalling {
@@ -362,19 +421,24 @@ func (k *Kernel) stampResidency(now sim.Time) {
 // log capacity (the paper's kernel-memory limitation) and any injected
 // trace faults: a record can be dropped outright or written with a late
 // timestamp, leaving the log non-monotonic the way deferred log writes on
-// real hardware would.
+// real hardware would. Every surviving record is folded into the running
+// LogStats tally; the record itself is kept only when retention is on.
 func (k *Kernel) logDecision(e SchedEntry) {
-	if k.cfg.SchedLogCap > 0 && len(k.schedLog) >= k.cfg.SchedLogCap {
+	if k.cfg.SchedLogCap > 0 && k.logStats.decisions >= k.cfg.SchedLogCap {
 		return
 	}
 	if k.cfg.Faults.DropTraceEvent() {
 		return
 	}
 	e.At += k.cfg.Faults.TraceDelay()
-	k.schedLog = append(k.schedLog, e)
+	k.logStats.note(e)
+	if k.cfg.RetainSchedLog || k.cfg.SchedLogCap > 0 {
+		k.schedLog = append(k.schedLog, e)
+	}
 }
 
-// setPowerState pushes the current mode/step/voltage to the recorder.
+// setPowerState pushes the current mode/step/voltage to the recorder,
+// through the memoized power table.
 func (k *Kernel) setPowerState(now sim.Time) {
 	mode := power.ModeNap
 	switch {
@@ -383,7 +447,7 @@ func (k *Kernel) setPowerState(now sim.Time) {
 	case k.cur != nil:
 		mode = power.ModeActive
 	}
-	if err := k.rec.SetState(now, power.State{Step: k.step, V: k.powerVolt, Mode: mode}); err != nil {
+	if err := k.rec.SetWatts(now, k.powerW[k.step][k.powerVolt][mode]); err != nil {
 		k.fail(err)
 	}
 }
@@ -439,7 +503,7 @@ func (k *Kernel) tick(now sim.Time) {
 	// Re-arm the interrupt, late when the injected timer jitter says so.
 	// Subsequent ticks re-align to the stretched schedule, so a jittered
 	// quantum runs long rather than the next one running short.
-	if _, err := k.eng.At(now+k.cfg.Quantum+k.cfg.Faults.TimerJitter(), k.tick); err != nil {
+	if _, err := k.eng.At(now+k.cfg.Quantum+k.cfg.Faults.TimerJitter(), k.tickFn); err != nil {
 		k.fail(fmt.Errorf("re-arming clock interrupt: %w", err))
 	}
 }
@@ -460,12 +524,7 @@ func (k *Kernel) applySettings(now sim.Time, s cpu.Step, v cpu.Voltage) {
 		k.volt = v
 		if v == cpu.VLow && old == cpu.VHigh {
 			// Dropping: the rail stays high for the settle time.
-			if _, err := k.eng.At(now+cpu.VoltageSettleDown, func(t sim.Time) {
-				if k.volt == cpu.VLow {
-					k.powerVolt = cpu.VLow
-					k.setPowerState(t)
-				}
-			}); err != nil {
+			if _, err := k.eng.At(now+cpu.VoltageSettleDown, k.voltSettleFn); err != nil {
 				k.fail(fmt.Errorf("scheduling voltage settle: %w", err))
 			}
 		} else {
@@ -503,28 +562,48 @@ func (k *Kernel) beginStall(now sim.Time, stall sim.Duration) {
 	k.stalling = true
 	k.telStallUs.Add(int64(stall))
 	k.setPowerState(now)
-	if _, err := k.eng.At(now+stall, func(t sim.Time) {
-		k.account(t)
-		k.stalling = false
-		k.dispatch(t)
-	}); err != nil {
+	if _, err := k.eng.At(now+stall, k.stallEndFn); err != nil {
 		k.fail(fmt.Errorf("scheduling PLL relock: %w", err))
 	}
+}
+
+// runqLen reports how many processes are queued.
+func (k *Kernel) runqLen() int { return len(k.runq) - k.runqHead }
+
+// runqPop removes and returns the process at the head of the run queue.
+func (k *Kernel) runqPop() *Process {
+	p := k.runq[k.runqHead]
+	k.runq[k.runqHead] = nil
+	k.runqHead++
+	switch {
+	case k.runqHead == len(k.runq):
+		// Drained: reclaim the whole slice.
+		k.runq = k.runq[:0]
+		k.runqHead = 0
+	case k.runqHead >= 64 && k.runqHead > len(k.runq)/2:
+		// The dead prefix dominates: slide the live tail down.
+		n := copy(k.runq, k.runq[k.runqHead:])
+		for i := n; i < len(k.runq); i++ {
+			k.runq[i] = nil
+		}
+		k.runq = k.runq[:n]
+		k.runqHead = 0
+	}
+	return p
 }
 
 // dispatch picks the next runnable process and starts it, or enters nap.
 // It must be called with no current process and no stall in progress.
 func (k *Kernel) dispatch(now sim.Time) {
 	for k.cur == nil {
-		if len(k.runq) == 0 {
+		if k.runqLen() == 0 {
 			// Idle: pid 0 runs and the power manager naps the core.
 			k.telIdle.Inc()
 			k.logDecision(SchedEntry{At: now, PID: 0, KHz: k.step.KHz()})
 			k.setPowerState(now)
 			return
 		}
-		p := k.runq[0]
-		k.runq = k.runq[1:]
+		p := k.runqPop()
 		if p.state != StateRunnable {
 			continue
 		}
@@ -542,31 +621,37 @@ func (k *Kernel) dispatch(now sim.Time) {
 	}
 }
 
-// armCompletion schedules the event marking the end of cur's action.
+// armCompletion schedules the event marking the end of cur's action. The
+// callback is the process's prebound completeFn, so arming allocates no
+// closure; staleness is handled by the k.cur != p guard plus the engine's
+// handle cancellation.
 func (k *Kernel) armCompletion(p *Process, now sim.Time) {
 	d := p.timeToFinish(now, k.step)
-	h, err := k.eng.At(now+d, func(t sim.Time) {
-		k.account(t)
-		if k.cur != p {
-			return // stale event; the process was preempted
-		}
-		k.cur = nil
-		k.advanceProgram(p, t)
-		if p.state == StateRunnable {
-			// Continue in the same quantum: the process keeps the CPU.
-			k.cur = p
-			k.lastAccount = t
-			k.setPowerState(t)
-			k.armCompletion(p, t)
-			return
-		}
-		k.dispatch(t)
-	})
+	h, err := k.eng.At(now+d, p.completeFn)
 	if err != nil {
 		k.fail(fmt.Errorf("scheduling completion of %q: %w", p.name, err))
 		return
 	}
 	k.completion = h
+}
+
+// onCompletion handles the end of p's current action.
+func (k *Kernel) onCompletion(p *Process, t sim.Time) {
+	k.account(t)
+	if k.cur != p {
+		return // stale event; the process was preempted
+	}
+	k.cur = nil
+	k.advanceProgram(p, t)
+	if p.state == StateRunnable {
+		// Continue in the same quantum: the process keeps the CPU.
+		k.cur = p
+		k.lastAccount = t
+		k.setPowerState(t)
+		k.armCompletion(p, t)
+		return
+	}
+	k.dispatch(t)
 }
 
 // maxProgramSteps bounds how many zero-length actions a program may return
@@ -597,7 +682,7 @@ func (k *Kernel) advanceProgram(p *Process, now sim.Time) {
 			if a.Burst.Zero() {
 				continue
 			}
-			p.exec = cpu.NewExecution(a.Burst)
+			p.exec = cpu.StartExecution(a.Burst)
 			return
 		case ActComputeFor:
 			if a.Dur <= 0 {
@@ -639,11 +724,7 @@ func (k *Kernel) advanceProgram(p *Process, now sim.Time) {
 
 func (k *Kernel) sleepUntil(p *Process, t sim.Time) {
 	p.state = StateSleeping
-	h, err := k.eng.At(t, func(sim.Time) {
-		if p.state == StateSleeping {
-			k.Wake(p)
-		}
-	})
+	h, err := k.eng.At(t, p.wakeFn)
 	if err != nil {
 		k.fail(fmt.Errorf("scheduling wakeup of %q: %w", p.name, err))
 		return

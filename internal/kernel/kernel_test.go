@@ -216,7 +216,9 @@ func TestRoundRobinFairness(t *testing.T) {
 }
 
 func TestSchedLogRecordsDecisions(t *testing.T) {
-	_, k := newKernel(t, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.RetainSchedLog = true
+	_, k := newKernel(t, cfg)
 	p, _ := k.Spawn(busyLoop{burst: cpu.Burst{Core: 500_000}})
 	if err := k.Run(100 * sim.Millisecond); err != nil {
 		t.Fatal(err)
@@ -236,7 +238,9 @@ func TestSchedLogRecordsDecisions(t *testing.T) {
 }
 
 func TestIdleLogsPIDZero(t *testing.T) {
-	_, k := newKernel(t, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.RetainSchedLog = true
+	_, k := newKernel(t, cfg)
 	if err := k.Run(50 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}

@@ -45,13 +45,21 @@ type Process struct {
 
 	state ProcState
 
-	// Current in-flight action.
+	// Current in-flight action. exec is held by value: a burst starts
+	// hundreds of thousands of times per run, and giving each start its own
+	// heap allocation dominated the allocation profile.
 	kind      ActionKind
-	exec      *cpu.Execution // ActCompute
-	remaining sim.Duration   // ActComputeFor
-	until     sim.Time       // ActSpinUntil
+	exec      cpu.Execution // ActCompute
+	remaining sim.Duration  // ActComputeFor
+	until     sim.Time      // ActSpinUntil
 
 	wake sim.Handle // pending sleep timer, if any
+
+	// Event callbacks bound once at Spawn. Scheduling them repeatedly
+	// (every burst completion, every sleep) reuses these closures instead
+	// of allocating a fresh one per occurrence.
+	completeFn sim.Event
+	wakeFn     sim.Event
 
 	// Accounting.
 	cpuTime sim.Duration // total busy time attributed to this process
@@ -110,7 +118,7 @@ func (p *Process) advanceBy(dt sim.Duration, s cpu.Step) {
 func (p *Process) actionDone(now sim.Time) bool {
 	switch p.kind {
 	case ActCompute:
-		return p.exec == nil || p.exec.Done()
+		return p.exec.Done()
 	case ActComputeFor:
 		return p.remaining <= 0
 	case ActSpinUntil:

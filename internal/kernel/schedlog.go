@@ -34,49 +34,63 @@ type LogStats struct {
 	RatesSeen []int64
 }
 
-// AnalyzeLog digests the kernel's scheduler log and process table. It is
-// meaningful after Run.
-func (k *Kernel) AnalyzeLog() LogStats {
-	st := LogStats{}
-	rates := map[int64]bool{}
-	lastPID := -1
-	for _, e := range k.schedLog {
-		st.Decisions++
-		if e.PID == 0 {
-			st.IdleDecisions++
-		}
-		if e.PID != lastPID {
-			st.Switches++
-			lastPID = e.PID
-		}
-		rates[e.KHz] = true
+// logTally is the running digest of the scheduler log, updated as each
+// decision is recorded so AnalyzeLog never needs the retained record list.
+// It counts exactly the entries that survive the cap and the injected
+// trace drops — the same population the old log-walking analysis saw.
+type logTally struct {
+	decisions int
+	idle      int
+	switches  int
+	started   bool  // at least one decision noted (so lastPID is valid)
+	lastPID   int   // pid of the previous decision
+	perPID    []int // decision count per pid; index = pid (0 is idle)
+	rates     []int64
+}
+
+func (t *logTally) note(e SchedEntry) {
+	t.decisions++
+	if e.PID == 0 {
+		t.idle++
 	}
-	byPID := map[int]*ProcessShare{}
-	for _, e := range k.schedLog {
-		if e.PID == 0 {
-			continue
+	if !t.started || e.PID != t.lastPID {
+		t.switches++
+		t.lastPID = e.PID
+		t.started = true
+	}
+	for len(t.perPID) <= e.PID {
+		t.perPID = append(t.perPID, 0)
+	}
+	t.perPID[e.PID]++
+	// At most NumSteps distinct rates ever appear; a linear scan of a
+	// tiny slice beats a map allocation per run.
+	for _, r := range t.rates {
+		if r == e.KHz {
+			return
 		}
-		if _, ok := byPID[e.PID]; !ok {
-			byPID[e.PID] = &ProcessShare{PID: e.PID}
-		}
-		byPID[e.PID].Decisions++
+	}
+	t.rates = append(t.rates, e.KHz)
+}
+
+// AnalyzeLog digests the kernel's scheduler activity and process table. It
+// is meaningful after Run, and works whether or not the full record list
+// was retained (Config.RetainSchedLog).
+func (k *Kernel) AnalyzeLog() LogStats {
+	t := &k.logStats
+	st := LogStats{
+		Decisions:     t.decisions,
+		IdleDecisions: t.idle,
+		Switches:      t.switches,
 	}
 	for _, p := range k.procs {
-		sh, ok := byPID[p.pid]
-		if !ok {
-			sh = &ProcessShare{PID: p.pid}
-			byPID[p.pid] = sh
+		sh := ProcessShare{PID: p.pid, Name: p.name, CPUTime: p.cpuTime}
+		if p.pid < len(t.perPID) {
+			sh.Decisions = t.perPID[p.pid]
 		}
-		sh.Name = p.name
-		sh.CPUTime = p.cpuTime
-	}
-	for _, sh := range byPID {
-		st.Shares = append(st.Shares, *sh)
+		st.Shares = append(st.Shares, sh)
 	}
 	sort.Slice(st.Shares, func(i, j int) bool { return st.Shares[i].PID < st.Shares[j].PID })
-	for r := range rates {
-		st.RatesSeen = append(st.RatesSeen, r)
-	}
+	st.RatesSeen = append(st.RatesSeen, t.rates...)
 	sort.Slice(st.RatesSeen, func(i, j int) bool { return st.RatesSeen[i] < st.RatesSeen[j] })
 	return st
 }

@@ -80,6 +80,17 @@ func (r *Recorder) setWatts(now sim.Time, w float64) error {
 	return nil
 }
 
+// Grow ensures capacity for at least n further change-points, so a caller
+// that can estimate a run's timeline density (the kernel: a few changes per
+// quantum) avoids the append-doubling churn of a long run.
+func (r *Recorder) Grow(n int) {
+	if free := cap(r.points) - len(r.points); free < n {
+		pts := make([]TimePoint, len(r.points), len(r.points)+n)
+		copy(pts, r.points)
+		r.points = pts
+	}
+}
+
 // Finish marks the timeline complete at time end. Further SetState calls
 // return ErrClosed. Energy and PowerAt remain usable up to end.
 func (r *Recorder) Finish(end sim.Time) error {

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"clocksched"
+)
+
+// TestRegisteredPolicyThroughService is the registry acceptance path over
+// the wire: a policy that exists only via RegisterPolicy travels inside a
+// JSON SweepSpec in its {"name", "params"} form, is rebuilt by the
+// receiving daemon's registry at decode, and the stored result bytes are
+// exactly what an uninterrupted local Sweep of the same grid encodes.
+func TestRegisteredPolicyThroughService(t *testing.T) {
+	err := clocksched.RegisterPolicy("svc-test-past", func(ps clocksched.Params) (clocksched.Policy, error) {
+		p := clocksched.PASTPegPeg()
+		p.LoPercent = ps.Int("lo_percent", p.LoPercent)
+		p.HiPercent = ps.Int("hi_percent", p.HiPercent)
+		return p, nil
+	})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	pol, err := clocksched.NewPolicy("svc-test-past", map[string]float64{
+		"lo_percent": 89, "hi_percent": 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := clocksched.SweepConfig{
+		Workloads: []clocksched.Workload{clocksched.RectWave},
+		Policies:  []clocksched.Policy{pol},
+		Seeds:     []uint64{1, 2, 3},
+		Duration:  2 * time.Second,
+	}
+	spec := clocksched.NewSweepSpec(grid)
+
+	// The spec must actually cross the wire in the registry form: force a
+	// JSON round trip and check the compact encoding is what travels.
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wire), `"name":"svc-test-past"`) {
+		t.Fatalf("spec JSON does not use the registry wire form: %s", wire)
+	}
+	var shipped clocksched.SweepSpec
+	if err := json.Unmarshal(wire, &shipped); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t, Config{Workers: 2, MaxActiveJobs: 1})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, shipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Done != 3 {
+		t.Fatalf("final status %+v", st)
+	}
+	got, err := c.ResultBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := clocksched.Sweep(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clocksched.EncodeSweepResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote result (%d bytes) != local encode (%d bytes) for a registry-only policy",
+			len(got), len(want))
+	}
+}
+
+// TestUnknownPolicyRejectedAtAdmission pins the failure mode: a spec
+// naming a policy the daemon's registry lacks is refused at submit, not
+// accepted and failed mid-sweep.
+func TestUnknownPolicyRejectedAtAdmission(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxActiveJobs: 1})
+	spec := testSpec(1)
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire = bytes.Replace(wire,
+		[]byte(`"policies":[`),
+		[]byte(`"policies":[{"name":"not-registered-anywhere"},`), 1)
+	req, err := http.NewRequest("POST", c.Base+"/v1/jobs", bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		t.Fatalf("spec with unregistered policy admitted: %s", resp.Status)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -13,51 +12,111 @@ type Event func(now Time)
 
 // scheduled is one pending event in the queue. seq breaks ties so that two
 // events at the same instant fire in the order they were scheduled,
-// keeping runs deterministic.
+// keeping runs deterministic. Nodes are recycled through the engine's free
+// list once fired or cancelled; gen counts recycles so a stale Handle can
+// never cancel the node's next occupant.
 type scheduled struct {
 	at    Time
 	seq   uint64
+	gen   uint64
 	fn    Event
 	index int // heap index; -1 once popped or cancelled
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
+// eventQueue is a min-heap ordered by (at, seq), maintained by hand (no
+// container/heap) so the hot path pays no interface boxing or indirect
+// calls: a 60-second run schedules and fires tens of thousands of events.
 type eventQueue []*scheduled
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*q)
-	*q = append(*q, s)
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && q.less(r, l) {
+			least = r
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.swap(i, least)
+		i = least
+	}
+}
+
+// push adds s to the heap.
+func (q *eventQueue) push(s *scheduled) {
+	s.index = len(*q)
+	*q = append(*q, s)
+	q.up(s.index)
+}
+
+// popMin removes and returns the earliest event.
+func (q *eventQueue) popMin() *scheduled {
 	old := *q
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
+	s := old[0]
+	n := len(old) - 1
+	old.swap(0, n)
+	old[n] = nil
+	*q = old[:n]
+	if n > 0 {
+		(*q).down(0)
+	}
 	s.index = -1
-	*q = old[:n-1]
 	return s
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// remove deletes the event at heap index i.
+func (q *eventQueue) remove(i int) {
+	old := *q
+	n := len(old) - 1
+	s := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*q = old[:n]
+	if i != n {
+		(*q).down(i)
+		(*q).up(i)
+	}
+	s.index = -1
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and cancels nothing. A Handle kept past its event's
+// firing (or cancellation) is harmless: the generation check rejects it
+// even after the underlying node has been recycled for another event.
 type Handle struct {
-	e *scheduled
+	e   *scheduled
+	gen uint64
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use and
@@ -65,6 +124,7 @@ type Handle struct {
 type Engine struct {
 	now    Time
 	queue  eventQueue
+	free   []*scheduled // recycled nodes, reused by At
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -106,6 +166,14 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// recycle returns a fired or cancelled node to the free list for the next
+// At. The generation bump invalidates every Handle still pointing at it.
+func (e *Engine) recycle(s *scheduled) {
+	s.gen++
+	s.fn = nil
+	e.free = append(e.free, s)
+}
+
 // At schedules fn to fire at absolute time t. Scheduling at the current time
 // is allowed — the event fires before time advances further.
 func (e *Engine) At(t Time, fn Event) (Handle, error) {
@@ -115,11 +183,19 @@ func (e *Engine) At(t Time, fn Event) (Handle, error) {
 	if fn == nil {
 		return Handle{}, errors.New("sim: nil event")
 	}
-	s := &scheduled{at: t, seq: e.seq, fn: fn}
+	var s *scheduled
+	if n := len(e.free); n > 0 {
+		s = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		s.at, s.seq, s.fn = t, e.seq, fn
+	} else {
+		s = &scheduled{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
-	heap.Push(&e.queue, s)
+	e.queue.push(s)
 	e.telDepth.Set(float64(len(e.queue)))
-	return Handle{e: s}, nil
+	return Handle{e: s, gen: s.gen}, nil
 }
 
 // After schedules fn to fire d microseconds from now. A non-positive delay
@@ -135,12 +211,11 @@ func (e *Engine) After(d Duration, fn Event) (Handle, error) {
 // pending (false if it already fired or was already cancelled).
 func (e *Engine) Cancel(h Handle) bool {
 	s := h.e
-	if s == nil || s.index < 0 {
+	if s == nil || s.gen != h.gen || s.index < 0 {
 		return false
 	}
-	heap.Remove(&e.queue, s.index)
-	s.index = -1
-	s.fn = nil
+	e.queue.remove(s.index)
+	e.recycle(s)
 	e.telDepth.Set(float64(len(e.queue)))
 	return true
 }
@@ -177,13 +252,16 @@ func (e *Engine) Step() bool {
 			ErrEventCap, e.fired, e.now, len(e.queue)))
 		return false
 	}
-	s := heap.Pop(&e.queue).(*scheduled)
+	s := e.queue.popMin()
 	e.now = s.at
 	e.fired++
 	e.telFired.Inc()
 	e.telDepth.Set(float64(len(e.queue)))
 	fn := s.fn
-	s.fn = nil
+	// Recycle before firing: fn may schedule new events, and the bumped
+	// generation already protects the node from the firing event's own
+	// (now stale) Handle.
+	e.recycle(s)
 	fn(e.now)
 	return true
 }

@@ -18,7 +18,16 @@ import (
 // the sample interval (ceiling division plus a last-sample overhang refund
 // in Energy), and the cached Result wire format gained the per-run
 // telemetry summary.
-const Version = "clocksched-sim/3"
+//
+// sim/4: DAQ energy integration is incremental (daq.Integrate): the
+// fault-free path quantizes each power-timeline segment once and weights it
+// by reading count instead of resampling every 200 µs window, so energy and
+// average-power sums accumulate in segment order rather than sample order.
+// The readings themselves are unchanged, but floating-point addition is not
+// associative, so totals can differ from sim/3 at ULP scale; run results
+// also now carry the DAQ digest (daq.Summary) instead of the materialized
+// sample array.
+const Version = "clocksched-sim/4"
 
 // Hasher accumulates named fields into a canonical, order-sensitive
 // encoding and digests them into a content-addressed cache key. Two specs

@@ -20,7 +20,7 @@ import (
 )
 
 // SimVersion reports the behavioural revision of the simulation module
-// (e.g. "clocksched-sim/3"). Every sweep cache key, journal commit, result
+// (e.g. "clocksched-sim/4"). Every sweep cache key, journal commit, result
 // envelope, and job spec is bound to it; two processes interoperate only
 // when their versions match exactly.
 func SimVersion() string { return sim.Version }

@@ -521,7 +521,7 @@ func cacheKeyAt(version string, cfg Config) string {
 	cfg = cfg.withDefaults()
 	h := sim.NewHasherAt("clocksched.Result", version).
 		Field("workload", cfg.Workload).
-		Field("policy", fmt.Sprintf("%+v", cfg.Policy)).
+		Field("policy", cfg.Policy.cacheString()).
 		Field("seed", cfg.Seed).
 		Field("duration", int64(cfg.Duration)).
 		Field("slack", int64(cfg.DeadlineSlack)).
