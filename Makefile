@@ -1,14 +1,15 @@
 # Build and verification tiers. `make check` is the full local gate:
 # static vetting, the complete test suite under the race detector, short
-# fuzz smokes of the trace parser, the journal replayer, and the job-spec
-# decoder, the kernel stress tests under -race, the parallel-sweep
-# determinism proof under -race, the durability (checkpoint/resume/retry)
-# suite under -race, the sweep-service suite under -race, and the service
-# chaos harness (seeded disk faults + kill/restart) under -race.
+# fuzz smokes of the trace parser, the journal replayer, the job-spec
+# decoder, and the policy-registry wire form, the kernel stress tests under
+# -race, the parallel-sweep determinism proof under -race, the durability
+# (checkpoint/resume/retry) suite under -race, the oracle/policy-zoo
+# differential suite under -race, the sweep-service suite under -race, and
+# the service chaos harness (seeded disk faults + kill/restart) under -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race bench-sweep bench-guard
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race bench-sweep bench-guard
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
 	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=10s ./internal/service/
 	$(GO) test -run=^$$ -fuzz=FuzzTokenFileParse -fuzztime=10s ./internal/service/
+	$(GO) test -run=^$$ -fuzz=FuzzParamsDecode -fuzztime=10s .
 
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
@@ -48,6 +50,14 @@ telemetry-race:
 # transient faults, per-cell deadline budgets, and cache quarantine.
 durability-race:
 	$(GO) test -race -count=1 -run 'Durable|Resume|Retry|Timeout|Journal|Deadline|Corrupt|Spill|Transient' -v . ./internal/sweep/ ./internal/journal/ ./internal/expt/ ./internal/telemetry/
+
+# The optimal-schedule oracle and the deadline-feasible policy zoo under
+# the race detector: the randomized differential suite (oracle lower-bounds
+# every policy, OA/AVR/BKP never miss), the OptSpeeds floor-feasibility
+# property tests, the deadline boundary tests, and the zoo comparison
+# experiment's acceptance run.
+oracle-race:
+	$(GO) test -race -count=1 -run 'Oracle|Differential|OptSpeeds|Zoo|Deadline' -v ./internal/policy/ ./internal/expt/
 
 # The sweep service under the race detector: concurrent submit/cancel/
 # drain, queue-full backpressure (429 + Retry-After), version-mismatch
@@ -78,5 +88,5 @@ bench-sweep:
 bench-guard:
 	$(GO) run ./cmd/benchsweep -guard -baseline BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race service-race chaos-race bench-guard
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race bench-guard
 	@echo "check: all tiers passed"

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"strings"
 	"time"
 
 	"clocksched/internal/cpu"
@@ -106,6 +107,16 @@ type Policy struct {
 	Proportional  bool `json:"proportional,omitempty"`
 	TargetPercent int  `json:"target_percent,omitempty"`
 
+	// Zoo selects one of the deadline-feasible online algorithms ported
+	// from the speed-scaling literature: "oa" (Optimal Available), "avr"
+	// (Average Rate), or "bkp" (Bansal–Kimbrel–Pruhs). Like Deadline they
+	// consume application deadlines when the workload advertises them;
+	// elsewhere they synthesize per-quantum jobs due SlackQuanta quanta
+	// out (0 means the default of 3, ≈30 ms). Other interval fields are
+	// ignored.
+	Zoo         string `json:"zoo,omitempty"`
+	SlackQuanta int    `json:"slack_quanta,omitempty"`
+
 	// Ref, when non-nil, records that this policy was materialized from
 	// the policy registry (NewPolicy / a {"name", "params"} wire form):
 	// the resolved settings above drive the simulation, while Ref drives
@@ -180,6 +191,9 @@ func (p Policy) Name() string {
 	if p.Deadline {
 		return "DEADLINE" + vs
 	}
+	if p.Zoo != "" {
+		return fmt.Sprintf("%s(slack=%d)%s", strings.ToUpper(p.Zoo), p.slackQuanta(), vs)
+	}
 	if p.Proportional {
 		return fmt.Sprintf("PROPORTIONAL(%s, %d%%)%s", pred, p.TargetPercent, vs)
 	}
@@ -192,15 +206,24 @@ func (p Policy) Name() string {
 func (p Policy) Validate() error {
 	var errs []error
 	kinds := 0
-	for _, set := range []bool{p.Constant, p.Deadline, p.Proportional} {
+	for _, set := range []bool{p.Constant, p.Deadline, p.Proportional, p.Zoo != ""} {
 		if set {
 			kinds++
 		}
 	}
 	if kinds > 1 {
-		errs = append(errs, fmt.Errorf("clocksched: Constant, Deadline, and Proportional are mutually exclusive"))
+		errs = append(errs, fmt.Errorf("clocksched: Constant, Deadline, Proportional, and Zoo are mutually exclusive"))
 	}
 	switch {
+	case p.Zoo != "":
+		switch p.Zoo {
+		case "oa", "avr", "bkp":
+		default:
+			errs = append(errs, fmt.Errorf("clocksched: unknown zoo algorithm %q (want oa, avr, or bkp)", p.Zoo))
+		}
+		if p.SlackQuanta < 0 {
+			errs = append(errs, fmt.Errorf("clocksched: negative zoo slack %d quanta", p.SlackQuanta))
+		}
 	case p.Constant:
 		if p.MHz <= 0 {
 			errs = append(errs, fmt.Errorf("clocksched: constant policy needs a positive MHz, got %g", p.MHz))
@@ -237,6 +260,15 @@ func (p Policy) Validate() error {
 	return errors.Join(errs...)
 }
 
+// slackQuanta resolves the zoo slack default: 0 means 3 quanta (≈30 ms),
+// the perceptual latency budget the paper's interval policies assume.
+func (p Policy) slackQuanta() int {
+	if p.SlackQuanta == 0 {
+		return 3
+	}
+	return p.SlackQuanta
+}
+
 // build converts the spec into a kernel policy and boot settings.
 func (p Policy) build() (spec expt.RunSpec, err error) {
 	if p.Constant {
@@ -256,6 +288,17 @@ func (p Policy) build() (spec expt.RunSpec, err error) {
 		d := policy.NewDeadlineScheduler()
 		d.VoltageScale = p.VoltageScale
 		spec.Policy = d
+		spec.InitialStep = cpu.MaxStep
+		spec.InitialV = cpu.VHigh
+		return spec, nil
+	}
+	if p.Zoo != "" {
+		z, err := policy.NewZooScheduler(policy.ZooAlgo(strings.ToUpper(p.Zoo)), p.slackQuanta())
+		if err != nil {
+			return spec, fmt.Errorf("clocksched: %w", err)
+		}
+		z.VoltageScale = p.VoltageScale
+		spec.Policy = z
 		spec.InitialStep = cpu.MaxStep
 		spec.InitialV = cpu.VHigh
 		return spec, nil

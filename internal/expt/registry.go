@@ -51,6 +51,7 @@ func Registry() []Experiment {
 		{"sa2", "§2.1: SA-2 voltage-scaling arithmetic", runSA2},
 		{"dvs", "§2.1 projection: policies on an ideal DVS core", runDVS},
 		{"weiser", "§3: Weiser trace-driven OPT/FUTURE/PAST scoring", runWeiser},
+		{"zoo", "optimality gap: every registered policy vs the offline oracle", runZoo},
 	}
 }
 
@@ -314,6 +315,15 @@ func runWeiser(env Env) (string, []Artifact, error) {
 	}
 	text := RenderWeiser(rows)
 	return text, []Artifact{{Name: "weiser.txt", Content: text}}, nil
+}
+
+func runZoo(env Env) (string, []Artifact, error) {
+	rows, err := ZooComparison(env, 0)
+	if err != nil {
+		return "", nil, err
+	}
+	text := RenderZoo(rows)
+	return text, []Artifact{{Name: "zoo.txt", Content: text}}, nil
 }
 
 // IndexHTML builds a small results index linking every artifact, with SVG

@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 22 {
+	if len(reg) != 23 {
 		t.Fatalf("%d experiments registered", len(reg))
 	}
 	seen := map[string]bool{}

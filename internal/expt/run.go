@@ -113,10 +113,11 @@ func buildWorkload(spec RunSpec) (workload.Workload, error) {
 		if spec.Duration != 0 {
 			cfg.Length = spec.Duration
 		}
-		// A deadline-based policy gets the cooperative application model
-		// of the paper's future-work section: the player advertises each
-		// frame's work and due time.
-		if ds, ok := spec.Policy.(*policy.DeadlineScheduler); ok {
+		// A deadline-consuming policy — DeadlineScheduler or any of the
+		// zoo schedulers — gets the cooperative application model of the
+		// paper's future-work section: the player advertises each frame's
+		// work and due time through the DeadlineSink interface.
+		if ds, ok := spec.Policy.(workload.DeadlineSink); ok {
 			cfg.Deadlines = ds
 		}
 		return workload.NewMPEG(cfg)

@@ -1,0 +1,231 @@
+package policy
+
+import (
+	"math"
+	"sort"
+)
+
+// This file ports the deadline-feasible online speed-scaling family that
+// Abousamra, Bunde and Pruhs compare experimentally — Average Rate (AVR,
+// Yao–Demers–Shenker), Optimal Available (OA, Bansal–Kimbrel–Pruhs's name
+// for the YDS-on-remaining-work heuristic), and BKP (Bansal–Kimbrel–Pruhs)
+// — at the trace level: job instances on a unit-interval grid, per-interval
+// speeds out. Unlike the Weiser heuristics in offline.go these algorithms
+// carry worst-case deadline guarantees, which the randomized differential
+// suite checks against the Li–Yao–Yuan oracle: they never miss a deadline
+// and never beat the oracle's energy.
+//
+// The algorithms are defined in continuous time with unbounded speed. Here
+// speed is recomputed at each interval boundary and held for the interval
+// (releases and deadlines are integral, so nothing changes mid-interval),
+// and each interval's speed additionally gets a criticality clamp — at
+// least the remaining work due at the next boundary — so discretization
+// can never turn a guaranteed-feasible schedule into a near miss. Speeds
+// are uncapped (may exceed 1); capping is the caller's concern and voids
+// the feasibility guarantee.
+
+// feasibleJob is the mutable per-run view of an OracleJob.
+type feasibleJob struct {
+	release, due float64
+	work, left   float64
+	late         bool
+}
+
+func liveJobs(jobs []OracleJob) []feasibleJob {
+	live := make([]feasibleJob, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Work > 0 {
+			live = append(live, feasibleJob{
+				release: j.Release, due: j.Due, work: j.Work, left: j.Work,
+			})
+		}
+	}
+	sort.Slice(live, func(a, b int) bool {
+		if live[a].due != live[b].due {
+			return live[a].due < live[b].due
+		}
+		return live[a].release < live[b].release
+	})
+	return live
+}
+
+// runFeasible drives the shared quantum loop: at each interval boundary i
+// the algorithm callback proposes a speed from the released-and-unfinished
+// job set, the criticality clamp raises it to at least the work due by
+// i+1, and earliest-deadline-first service consumes the capacity.
+func runFeasible(jobs []OracleJob, n int,
+	propose func(i int, live []feasibleJob) float64) []float64 {
+	live := liveJobs(jobs)
+	speeds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		s := propose(i, live)
+		// Criticality clamp: everything released and due by the next
+		// boundary must fit in this interval.
+		urgent := 0.0
+		for _, j := range live {
+			if j.left > 0 && j.release <= t && j.due <= t+1 {
+				urgent += j.left
+			}
+		}
+		if urgent > s {
+			s = urgent
+		}
+		speeds[i] = s
+		// EDF service (live is due-sorted).
+		cap := s
+		for k := range live {
+			if cap <= 0 {
+				break
+			}
+			j := &live[k]
+			if j.left <= 0 || j.release > t {
+				continue
+			}
+			amt := math.Min(cap, j.left)
+			j.left -= amt
+			cap -= amt
+		}
+	}
+	return speeds
+}
+
+// AVRSpeeds computes the Average Rate schedule: every job is run at its
+// own density Work/(Due−Release) for its whole window, and the processor
+// speed is the sum of the active densities. Feasible with EDF dispatch;
+// at most 2^α-competitive in energy.
+func AVRSpeeds(jobs []OracleJob, n int) []float64 {
+	return runFeasible(jobs, n, func(i int, live []feasibleJob) float64 {
+		t := float64(i)
+		s := 0.0
+		for _, j := range live {
+			if j.release <= t && t < j.due {
+				s += j.work / (j.due - j.release)
+			}
+		}
+		return s
+	})
+}
+
+// OASpeeds computes Optimal Available: at each boundary, run at the speed
+// the optimal schedule would use if no further work ever arrived — the
+// maximum density of remaining released work over any deadline horizon,
+// max over deadlines d > t of (remaining work due by d)/(d − t). This is
+// the same rule DeadlineScheduler.RequiredKHz applies to kernel cycles.
+func OASpeeds(jobs []OracleJob, n int) []float64 {
+	return runFeasible(jobs, n, func(i int, live []feasibleJob) float64 {
+		t := float64(i)
+		s, cum := 0.0, 0.0
+		for _, j := range live { // due-sorted: prefixes are horizons
+			if j.left <= 0 || j.release > t {
+				continue
+			}
+			cum += j.left
+			if j.due > t {
+				if d := cum / (j.due - t); d > s {
+					s = d
+				}
+			}
+		}
+		return s
+	})
+}
+
+// BKPSpeeds computes the Bansal–Kimbrel–Pruhs schedule: speed e·v(t),
+// where v(t) is the maximum over look-ahead horizons t' > t of
+// w(t, et−(e−1)t', t')/(e(t'−t)) and w(t, t₁, t₂) is the original work of
+// jobs released in [t₁, t] with deadlines ≤ t₂ — a windowed density that
+// remembers recently released work whether or not it has been served,
+// which is what buys the constant competitive ratio. Only deadlines are
+// candidate horizons (the maximum is attained there).
+func BKPSpeeds(jobs []OracleJob, n int) []float64 {
+	const e = math.E
+	all := liveJobs(jobs)
+	return runFeasible(jobs, n, func(i int, _ []feasibleJob) float64 {
+		t := float64(i)
+		best := 0.0
+		for _, h := range all {
+			if h.due <= t {
+				continue
+			}
+			delta := h.due - t
+			lo := t - (e-1)*delta
+			w := 0.0
+			for _, j := range all {
+				if j.release <= t && j.release >= lo && j.due <= h.due {
+					w += j.work
+				}
+			}
+			// e · w/(e·Δ) = w/Δ.
+			if d := w / delta; d > best {
+				best = d
+			}
+		}
+		return best
+	})
+}
+
+// TraceScore is a deadline-aware schedule score on a job instance.
+type TraceScore struct {
+	Energy     float64 // Σ work·speed², late work charged at full speed when makeup is set
+	MissedWork float64 // work served after its deadline or never served
+	LateJobs   int     // jobs that missed their deadline
+	Jobs       int     // jobs in the instance
+}
+
+// ScoreSpeeds serves a job instance earliest-deadline-first at the given
+// per-interval speeds and scores it in the trace energy model. Work served
+// in its window costs speed²; when makeup is set, work served late — or
+// still unserved at the end — is charged at full speed (speed 1, or the
+// actual speed if higher), the cost of eventually doing it with no slack
+// left. The oracle minimizes exactly this objective among miss-free
+// schedules, so with makeup a score below the oracle's is impossible for
+// feasible service and empirically hard even for deadline-missing
+// policies — that gap is what the zoo experiment reports.
+func ScoreSpeeds(jobs []OracleJob, speeds []float64, makeup bool) TraceScore {
+	const residue = 1e-9 // below this, float accumulation, not a real miss
+	live := liveJobs(jobs)
+	sc := TraceScore{Jobs: len(live)}
+	for i, s := range speeds {
+		t := float64(i)
+		cap := s
+		for k := range live {
+			if cap <= 0 {
+				break
+			}
+			j := &live[k]
+			if j.left <= 0 || j.release > t {
+				continue
+			}
+			amt := math.Min(cap, j.left)
+			j.left -= amt
+			cap -= amt
+			if j.due <= t { // the whole interval lies past the deadline
+				if amt > residue {
+					sc.MissedWork += amt
+					if !j.late {
+						j.late = true
+						sc.LateJobs++
+					}
+				}
+				if makeup {
+					sc.Energy += amt * math.Max(1, s) * math.Max(1, s)
+					continue
+				}
+			}
+			sc.Energy += amt * s * s
+		}
+	}
+	for _, j := range live {
+		if j.left > residue {
+			sc.MissedWork += j.left
+			if !j.late {
+				sc.LateJobs++
+			}
+			if makeup {
+				sc.Energy += j.left // × 1²
+			}
+		}
+	}
+	return sc
+}

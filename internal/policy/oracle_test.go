@@ -1,0 +1,248 @@
+package policy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// ydsReferenceEnergy is an independent O(n³) implementation of the
+// Yao–Demers–Shenker optimum by repeated critical-interval peeling: find
+// the densest interval [a, b] over all (release, deadline) pairs, run its
+// jobs at that density, collapse the interval, recurse. The taut-string
+// oracle must agree with it on energy to float precision.
+func ydsReferenceEnergy(jobs []OracleJob) float64 {
+	type job struct{ r, d, w float64 }
+	var js []job
+	for _, j := range jobs {
+		if j.Work > 0 {
+			js = append(js, job{j.Release, j.Due, j.Work})
+		}
+	}
+	energy := 0.0
+	for len(js) > 0 {
+		bestG, bestA, bestB := -1.0, 0.0, 0.0
+		for _, ja := range js {
+			for _, jb := range js {
+				a, b := ja.r, jb.d
+				if b <= a {
+					continue
+				}
+				w := 0.0
+				for _, j := range js {
+					if j.r >= a && j.d <= b {
+						w += j.w
+					}
+				}
+				if g := w / (b - a); g > bestG {
+					bestG, bestA, bestB = g, a, b
+				}
+			}
+		}
+		energy += bestG * bestG * bestG * (bestB - bestA)
+		width := bestB - bestA
+		var rest []job
+		for _, j := range js {
+			if j.r >= bestA && j.d <= bestB {
+				continue // scheduled inside the critical interval
+			}
+			if j.r > bestB {
+				j.r -= width
+			} else if j.r > bestA {
+				j.r = bestA
+			}
+			if j.d > bestB {
+				j.d -= width
+			} else if j.d > bestA {
+				j.d = bestA
+			}
+			rest = append(rest, j)
+		}
+		js = rest
+	}
+	return energy
+}
+
+func randomInstance(rng *rand.Rand, maxJobs int) []OracleJob {
+	n := 1 + rng.IntN(maxJobs)
+	jobs := make([]OracleJob, n)
+	for i := range jobs {
+		r := float64(rng.IntN(16))
+		d := r + 1 + float64(rng.IntN(6))
+		jobs[i] = OracleJob{Release: r, Due: d, Work: 0.05 + 1.95*rng.Float64()}
+	}
+	return jobs
+}
+
+func instanceHorizon(jobs []OracleJob) int {
+	h := 0.0
+	for _, j := range jobs {
+		if j.Due > h {
+			h = j.Due
+		}
+	}
+	return int(math.Ceil(h))
+}
+
+func totalWork(jobs []OracleJob) float64 {
+	w := 0.0
+	for _, j := range jobs {
+		w += j.Work
+	}
+	return w
+}
+
+func TestOracleSingleJob(t *testing.T) {
+	sched, err := OptimalSchedule([]OracleJob{{Release: 0, Due: 2, Work: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 1 || sched[0].Start != 0 || sched[0].End != 2 {
+		t.Fatalf("schedule %+v", sched)
+	}
+	if math.Abs(sched[0].Speed-0.5) > 1e-12 {
+		t.Fatalf("speed %v, want 0.5", sched[0].Speed)
+	}
+	if e := sched.Energy(); math.Abs(e-0.25) > 1e-12 {
+		t.Fatalf("energy %v, want 0.25", e)
+	}
+}
+
+// TestOracleClassicCriticalInterval pins the canonical YDS shape: a dense
+// job forces a fast critical interval, and the surrounding work runs at
+// the residual density — not at the naive average.
+func TestOracleClassicCriticalInterval(t *testing.T) {
+	jobs := []OracleJob{
+		{Release: 0, Due: 10, Work: 2}, // background, density 0.2
+		{Release: 4, Due: 6, Work: 2},  // spike, density 1.0
+	}
+	sched, err := OptimalSchedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missed, late := VerifySchedule(jobs, sched); missed > 1e-9 || late != 0 {
+		t.Fatalf("oracle infeasible: missed %v, late %d", missed, late)
+	}
+	// Critical interval [4,6] at speed 1; remaining 2 units of background
+	// work spread over the other 8 time units at 0.25.
+	if s := sched.MaxSpeed(); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("max speed %v, want 1", s)
+	}
+	want := 1.0*1.0*1.0*2 + 0.25*0.25*0.25*8
+	if e := sched.Energy(); math.Abs(e-want) > 1e-9 {
+		t.Fatalf("energy %v, want %v", e, want)
+	}
+}
+
+func TestOracleMatchesYDSReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 250; i++ {
+		jobs := randomInstance(rng, 10)
+		sched, err := OptimalSchedule(jobs)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if missed, late := VerifySchedule(jobs, sched); missed > 1e-6 || late != 0 {
+			t.Fatalf("instance %d %+v: oracle infeasible, missed %v late %d\nschedule %+v",
+				i, jobs, missed, late, sched)
+		}
+		if w, want := sched.TotalWork(), totalWork(jobs); math.Abs(w-want) > 1e-6 {
+			t.Fatalf("instance %d: schedule serves %v of %v work", i, w, want)
+		}
+		ref := ydsReferenceEnergy(jobs)
+		if got := sched.Energy(); math.Abs(got-ref) > 1e-6*(1+ref) {
+			t.Fatalf("instance %d %+v: oracle energy %v, YDS reference %v",
+				i, jobs, got, ref)
+		}
+	}
+}
+
+// TestOracleEndDeadlineEqualsHull checks the adapter's slack<0 mode
+// against OptSpeeds: with every deadline at the trace end, the
+// Li–Yao–Yuan corridor's floor is flat and the taut string is exactly the
+// lower convex hull of cumulative arrivals — Weiser's OPT.
+func TestOracleEndDeadlineEqualsHull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.IntN(60)
+		util := make([]float64, n)
+		for i := range util {
+			if rng.Float64() < 0.3 {
+				continue // idle interval
+			}
+			util[i] = rng.Float64()
+		}
+		jobs := OracleFromTrace(util, -1)
+		sched, err := OptimalSchedule(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speeds, err := OptSpeeds(util, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvaluateSpeeds(util, speeds, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MissedWork > 1e-6 {
+			t.Fatalf("trial %d: OptSpeeds misses %v work", trial, res.MissedWork)
+		}
+		if o, h := sched.Energy(), res.Energy; math.Abs(o-h) > 1e-6*(1+h) {
+			t.Fatalf("trial %d: oracle %v != hull %v on end-deadline instance", trial, o, h)
+		}
+	}
+}
+
+func TestOraclePerIntervalExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	for trial := 0; trial < 50; trial++ {
+		jobs := randomInstance(rng, 8)
+		sched, err := OptimalSchedule(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := instanceHorizon(jobs)
+		per := sched.PerInterval(n)
+		sum := 0.0
+		for _, s := range per {
+			sum += s
+		}
+		if want := totalWork(jobs); math.Abs(sum-want) > 1e-6 {
+			t.Fatalf("trial %d: per-interval serves %v of %v", trial, sum, want)
+		}
+		// Integer-aligned instance: resampling must not introduce misses.
+		sc := ScoreSpeeds(jobs, per, false)
+		if sc.MissedWork > 1e-6 || sc.LateJobs != 0 {
+			t.Fatalf("trial %d: per-interval schedule misses %v work (%d jobs)",
+				trial, sc.MissedWork, sc.LateJobs)
+		}
+		if math.Abs(sc.Energy-sched.Energy()) > 1e-6*(1+sc.Energy) {
+			t.Fatalf("trial %d: per-interval energy %v != schedule energy %v",
+				trial, sc.Energy, sched.Energy())
+		}
+	}
+}
+
+func TestOracleRejectsBadInstances(t *testing.T) {
+	bad := [][]OracleJob{
+		{{Release: 0, Due: 1, Work: math.NaN()}},
+		{{Release: 0, Due: 1, Work: -1}},
+		{{Release: 2, Due: 1, Work: 1}},
+		{{Release: 1, Due: 1, Work: 1}},
+	}
+	for i, jobs := range bad {
+		if _, err := OptimalSchedule(jobs); err == nil {
+			t.Errorf("instance %d accepted: %+v", i, jobs)
+		}
+	}
+	sched, err := OptimalSchedule(nil)
+	if err != nil || len(sched) != 0 {
+		t.Fatalf("empty instance: %+v, %v", sched, err)
+	}
+	// Zero-work jobs are ignored, not errors.
+	sched, err = OptimalSchedule([]OracleJob{{Release: 0, Due: 0, Work: 0}})
+	if err != nil || len(sched) != 0 {
+		t.Fatalf("zero-work instance: %+v, %v", sched, err)
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -242,7 +241,7 @@ const eventsMaxReconnects = 4
 // consecutive failures is the drop surfaced (io.EOF or the transport
 // error) for callers to fall back to polling.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
-	var lastID int64
+	var lastID string
 	fails := 0
 	for {
 		sawEvent, retryable, err := c.eventsOnce(ctx, id, fn, &lastID)
@@ -265,18 +264,21 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 }
 
 // eventsOnce runs one SSE connection, tracking the last SSE id in *lastID
-// for the next attempt's Last-Event-ID header. A nil error means the
-// stream ended on a terminal event. retryable marks transport-level drops
-// (dial failure, mid-stream cut, clean close without a terminal event);
-// structured API rejections, malformed payloads, and fn's own errors are
-// not retryable — they are the caller's business.
-func (c *Client) eventsOnce(ctx context.Context, id string, fn func(Event) error, lastID *int64) (sawEvent, retryable bool, err error) {
+// for the next attempt's Last-Event-ID header. The id is opaque to the
+// client — the server qualifies sequence numbers with its boot epoch, and
+// deciding whether a held id is current or stale is the server's job — so
+// it is stored and echoed verbatim. A nil error means the stream ended on
+// a terminal event. retryable marks transport-level drops (dial failure,
+// mid-stream cut, clean close without a terminal event); structured API
+// rejections, malformed payloads, and fn's own errors are not retryable —
+// they are the caller's business.
+func (c *Client) eventsOnce(ctx context.Context, id string, fn func(Event) error, lastID *string) (sawEvent, retryable bool, err error) {
 	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return false, false, err
 	}
-	if *lastID > 0 {
-		req.Header.Set("Last-Event-ID", strconv.FormatInt(*lastID, 10))
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -292,9 +294,7 @@ func (c *Client) eventsOnce(ctx context.Context, id string, fn func(Event) error
 	for sc.Scan() {
 		line := sc.Text()
 		if idStr, ok := strings.CutPrefix(line, "id: "); ok {
-			if n, err := strconv.ParseInt(idStr, 10, 64); err == nil {
-				*lastID = n
-			}
+			*lastID = strings.TrimSpace(idStr)
 			continue
 		}
 		if !strings.HasPrefix(line, "data: ") {

@@ -1,9 +1,11 @@
 package service
 
 import (
+	"bufio"
 	"context"
 	"net"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -100,5 +102,211 @@ func TestEventsSurviveDaemonRestart(t *testing.T) {
 	}
 	if final.Replayed < 2 {
 		t.Errorf("restarted job replayed %d cells, want >= 2", final.Replayed)
+	}
+}
+
+// readSSEEvent reads one Server-Sent Event off the stream, returning its id
+// and event-type lines.
+func readSSEEvent(t *testing.T, br *bufio.Reader) (id, typ string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case line == "" && typ != "":
+			return id, typ
+		}
+	}
+}
+
+// openSSE opens one raw event-stream connection with the given
+// Last-Event-ID (empty omits the header) and returns a reader over it.
+func openSSE(t *testing.T, ctx context.Context, base, jobID, lastEventID string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		resp.Body.Close()
+		t.Fatalf("events: %s", resp.Status)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+// TestEventsStaleLastEventIDGetsSnapshot pins the epoch half of the SSE
+// reconnect fix at the protocol level: only a Last-Event-ID carrying this
+// boot's epoch can skip the connect-time snapshot. A bare sequence number —
+// what a pre-epoch client from a previous daemon life would present, and
+// exactly the form whose numeric coincidence with the fresh daemon's
+// restarted sequence used to be mistaken for "caught up" — and a
+// foreign-epoch id with the same sequence must both be answered with an
+// immediate snapshot; the genuine current id must not re-receive the event
+// it already has.
+func TestEventsStaleLastEventIDGetsSnapshot(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, c := newTestServer(t, Config{
+		Workers: 1, MaxActiveJobs: 1, CellDelay: 300 * time.Millisecond,
+	})
+	st, err := c.Submit(ctx, testSpec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for real progress so the job's event sequence is past zero (a
+	// zero sequence never counts as caught up, by design).
+	for {
+		js, err := c.Status(ctx, st.ID)
+		if err == nil && js.Done >= 1 {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatal("job made no progress")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	br, done := openSSE(t, ctx, c.Base, st.ID, "")
+	heldID, typ := readSSEEvent(t, br)
+	done()
+	if typ != "state" {
+		t.Fatalf("first event on a fresh connection is %q, want the state snapshot", typ)
+	}
+	epoch, seq, ok := strings.Cut(heldID, ".")
+	if !ok || epoch == "" || seq == "" {
+		t.Fatalf("SSE id %q is not epoch-qualified", heldID)
+	}
+
+	for _, stale := range []string{seq, "feedfacefeedface." + seq} {
+		br, done := openSSE(t, ctx, c.Base, st.ID, stale)
+		_, typ := readSSEEvent(t, br)
+		done()
+		if typ != "state" {
+			t.Errorf("Last-Event-ID %q: first event is %q, want an immediate snapshot", stale, typ)
+		}
+	}
+
+	br, done = openSSE(t, ctx, c.Base, st.ID, heldID)
+	id, _ := readSSEEvent(t, br)
+	done()
+	if id == heldID {
+		t.Errorf("current Last-Event-ID %q re-received its own event", heldID)
+	}
+}
+
+// TestEventsResetAfterDataDirReset is the end-to-end regression for the
+// satellite: a client's Events call rides across a daemon restart onto a
+// FRESH data dir, where job ids and event sequence numbers both restart
+// from scratch. The reconnect presents an id from the dead daemon's epoch;
+// the server must treat it as stale and resync the client with a full
+// snapshot of the new job now wearing the old job's id, and the watch must
+// end on that new job's terminal event. The client counts running-state
+// "state" events: one per daemon life proves the post-reset snapshot was
+// sent rather than skipped on a sequence-number coincidence.
+func TestEventsResetAfterDataDirReset(t *testing.T) {
+	ctx := context.Background()
+
+	s1, err := New(Config{
+		DataDir: t.TempDir(), Workers: 1, MaxActiveJobs: 1,
+		CellDelay: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs1 := &http.Server{Handler: s1}
+	go hs1.Serve(ln)
+
+	c := &Client{Base: "http://" + addr}
+	st, err := c.Submit(ctx, testSpec(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events, runningSnaps atomic.Int32
+	watch := make(chan error, 1)
+	go func() {
+		watch <- c.Events(ctx, st.ID, func(ev Event) error {
+			events.Add(1)
+			if ev.Type == "state" && ev.State == StateRunning {
+				runningSnaps.Add(1)
+			}
+			return nil
+		})
+	}()
+
+	// Let the watcher see the job running, then tear the daemon down.
+	deadline := time.Now().Add(30 * time.Second)
+	for runningSnaps.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never saw the job running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new daemon on a FRESH data dir: the manifest is empty, so the first
+	// submitted job takes the same id the dead daemon handed out. Submit it
+	// in-process before serving HTTP, so the watcher's reconnect can never
+	// race a 404.
+	s2, err := New(Config{
+		DataDir: t.TempDir(), Workers: 1, MaxActiveJobs: 1,
+		CellDelay: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, err := s2.SubmitWith(testSpec(12), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID {
+		t.Fatalf("fresh daemon assigned job id %q, want the reused %q", st2.ID, st.ID)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := &http.Server{Handler: s2}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+
+	select {
+	case err := <-watch:
+		if err != nil {
+			t.Fatalf("Events did not survive the data-dir reset: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Events never ended after the reset")
+	}
+	if runningSnaps.Load() < 2 {
+		t.Errorf("watcher saw %d running-state events, want one per daemon life (snapshot after reset)",
+			runningSnaps.Load())
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("job after reset: %+v, %v", final, err)
 	}
 }

@@ -283,14 +283,36 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
+// eventID renders one event's SSE id: the server's boot epoch qualifying
+// the per-job sequence number, "<epoch>.<seq>". Clients treat it as opaque
+// and echo it verbatim in Last-Event-ID.
+func (s *Server) eventID(seq int64) string {
+	return s.epoch + "." + strconv.FormatInt(seq, 10)
+}
+
+// caughtUp reports whether a reconnecting client's Last-Event-ID proves it
+// has already seen everything up to snapSeq from THIS server boot. Sequence
+// numbers restart every boot — and a daemon restarted against a fresh data
+// dir even reuses job ids — so a bare numeric match means nothing; only an
+// id carrying the current epoch counts. Anything else (empty, a foreign
+// epoch, a legacy bare integer, garbage) is stale and earns the full
+// snapshot.
+func (s *Server) caughtUp(lastEventID string, snapSeq int64) bool {
+	epoch, seqStr, ok := strings.Cut(lastEventID, ".")
+	if !ok || epoch != s.epoch {
+		return false
+	}
+	seq, err := strconv.ParseInt(seqStr, 10, 64)
+	return err == nil && seq > 0 && seq == snapSeq
+}
+
 // handleEvents streams the job's lifecycle over Server-Sent Events: one
 // snapshot event on connect, then every progress update and state change
 // until the job reaches a terminal state or the client disconnects. Every
-// event carries its per-job sequence number as the SSE id; a reconnecting
-// client that presents the current sequence in Last-Event-ID skips the
-// redundant snapshot. (A restarted daemon resets the sequence, so a stale
-// id never matches and the snapshot is re-sent — which is exactly what a
-// client that slept through a reboot needs.)
+// event carries an epoch-qualified sequence id (see eventID); a
+// reconnecting client that presents the current one in Last-Event-ID skips
+// the redundant snapshot, while an id from any other daemon life — however
+// its numbers compare — gets the snapshot re-sent.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ch, snap, err := s.subscribe(r.PathValue("id"))
 	if err != nil {
@@ -309,7 +331,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %s\nevent: %s\ndata: %s\n\n", s.eventID(ev.Seq), ev.Type, data); err != nil {
 			return false
 		}
 		if canFlush {
@@ -318,8 +340,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	lastID, lastIDErr := strconv.ParseInt(r.Header.Get("Last-Event-ID"), 10, 64)
-	caughtUp := lastIDErr == nil && lastID > 0 && lastID == snap.Seq
+	caughtUp := s.caughtUp(r.Header.Get("Last-Event-ID"), snap.Seq)
 	if !caughtUp {
 		if !send(snap) {
 			return

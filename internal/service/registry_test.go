@@ -87,6 +87,77 @@ func TestRegisteredPolicyThroughService(t *testing.T) {
 	}
 }
 
+// TestZooPoliciesThroughService proves ISSUE 8's wire-form criterion: the
+// deadline-feasible family (OA, AVR, BKP) built purely from the registry's
+// {"name", "params"} form survives the JSON round trip, is rebuilt by the
+// daemon at admission, and the stored result bytes are exactly what a local
+// Sweep of the same grid encodes.
+func TestZooPoliciesThroughService(t *testing.T) {
+	var pols []clocksched.Policy
+	for _, ref := range []clocksched.PolicyRef{
+		{Name: "oa"},
+		{Name: "avr", Params: map[string]float64{"slack_quanta": 4}},
+		{Name: "bkp", Params: map[string]float64{"voltage_scale": 1}},
+	} {
+		p, err := ref.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pols = append(pols, p)
+	}
+	grid := clocksched.SweepConfig{
+		Workloads: []clocksched.Workload{clocksched.RectWave},
+		Policies:  pols,
+		Seeds:     []uint64{1, 2},
+		Duration:  2 * time.Second,
+	}
+	spec := clocksched.NewSweepSpec(grid)
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"oa"`, `"name":"avr"`, `"name":"bkp"`} {
+		if !strings.Contains(string(wire), want) {
+			t.Fatalf("spec JSON lacks %s: %s", want, wire)
+		}
+	}
+	var shipped clocksched.SweepSpec
+	if err := json.Unmarshal(wire, &shipped); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t, Config{Workers: 2, MaxActiveJobs: 1})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, shipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Done != 6 {
+		t.Fatalf("final status %+v", st)
+	}
+	got, err := c.ResultBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := clocksched.Sweep(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clocksched.EncodeSweepResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote result (%d bytes) != local encode (%d bytes) for zoo policies",
+			len(got), len(want))
+	}
+}
+
 // TestUnknownPolicyRejectedAtAdmission pins the failure mode: a spec
 // naming a policy the daemon's registry lacks is refused at submit, not
 // accepted and failed mid-sweep.

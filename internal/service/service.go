@@ -42,6 +42,8 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -58,6 +60,23 @@ import (
 	"clocksched/internal/journal"
 	"clocksched/internal/telemetry"
 )
+
+// newEpoch draws the per-boot token that qualifies SSE event ids. Event
+// sequence numbers restart from zero on every boot (and a data-dir reset
+// even reuses job ids), so a bare sequence from a previous daemon life can
+// collide with a current one; the epoch makes such an id visibly foreign.
+// Random rather than persisted: two boots must never share a token, even
+// after the data dir is wiped.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; a broken
+		// entropy source degrades to snapshot-on-every-reconnect, which is
+		// safe (just wasteful), so don't take the daemon down over it.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Service-level metric names, exported on /metrics alongside each job's
 // scoped registry.
@@ -231,10 +250,14 @@ type Event struct {
 	// Error carries the terminal failure text with a "state" event of
 	// StateFailed.
 	Error string `json:"error,omitempty"`
-	// Seq is the event's per-job sequence number, carried as the SSE id
-	// so a reconnecting client can resume with Last-Event-ID. It resets
-	// when the daemon restarts (a restarted daemon re-sends a snapshot,
-	// which is exactly what a reconnecting client needs).
+	// Seq is the event's per-job sequence number. On the wire it is
+	// carried inside the SSE id qualified by the server's boot epoch
+	// ("<epoch>.<seq>"), so a reconnecting client's Last-Event-ID from a
+	// previous daemon life — whose sequence numbering restarted and may
+	// coincide numerically — can never be mistaken for being caught up;
+	// the server answers any foreign-epoch or legacy id with a full
+	// snapshot, which is exactly what a client that slept through a
+	// reboot (or a data-dir reset that reused job ids) needs.
 	Seq int64 `json:"seq,omitempty"`
 }
 
@@ -244,6 +267,7 @@ type Server struct {
 	cfg   Config
 	cache *clocksched.SweepCache
 	reg   *telemetry.Registry // service-level metrics
+	epoch string              // per-boot token qualifying SSE event ids
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -304,6 +328,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		cache:  cache,
 		reg:    telemetry.New(),
+		epoch:  newEpoch(),
 		jobs:   map[string]*job{},
 		gcStop: make(chan struct{}),
 	}

@@ -193,14 +193,34 @@ func setterFromCode(code int) (SpeedSetter, error) {
 	}
 }
 
-// The five paper policies. Parameter documentation:
+// The five paper policies plus the deadline-feasible zoo. Parameter
+// documentation:
 //
 //	constant       mhz (default 206.4), low_voltage (0/1)
 //	past-peg-peg   lo_percent (93), hi_percent (98), voltage_scale (0/1)
 //	pering-avg-n   n (12), up (2), down (2) [setter codes], voltage_scale
 //	deadline       voltage_scale (0/1)
 //	proportional   n (12), target_percent (80), voltage_scale (0/1)
+//	oa             slack_quanta (3), voltage_scale (0/1)
+//	avr            slack_quanta (3), voltage_scale (0/1)
+//	bkp            slack_quanta (3), voltage_scale (0/1)
 func init() {
+	zoo := func(name string) {
+		mustRegister(name, func(ps Params) (Policy, error) {
+			p := Policy{
+				Zoo:          name,
+				SlackQuanta:  ps.Int("slack_quanta", 3),
+				VoltageScale: ps.Bool("voltage_scale", false),
+			}
+			if err := p.Validate(); err != nil {
+				return Policy{}, err
+			}
+			return p, nil
+		})
+	}
+	zoo("oa")
+	zoo("avr")
+	zoo("bkp")
 	mustRegister("constant", func(ps Params) (Policy, error) {
 		return ConstantPolicy(ps.Get("mhz", 206.4), ps.Bool("low_voltage", false)), nil
 	})

@@ -1,0 +1,31 @@
+package clocksched
+
+import "clocksched/internal/expt"
+
+// The zoo experiment compares every registered policy against the offline
+// optimal schedule, but the experiment layer cannot import this package
+// (the dependency points the other way), so the registry enumeration is
+// injected here at init. Enumeration is lazy — the hook re-reads the
+// registry on every run, so policies registered after package init (other
+// packages, tests) join the comparison automatically, each at its default
+// parameters.
+func init() {
+	expt.SetPolicyZoo(func() []expt.ZooPolicy {
+		names := RegisteredPolicies()
+		zoo := make([]expt.ZooPolicy, 0, len(names))
+		for _, name := range names {
+			name := name
+			zoo = append(zoo, expt.ZooPolicy{
+				Name: name,
+				Spec: func() (expt.RunSpec, error) {
+					p, err := NewPolicy(name, nil)
+					if err != nil {
+						return expt.RunSpec{}, err
+					}
+					return p.build()
+				},
+			})
+		}
+		return zoo
+	})
+}
