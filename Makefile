@@ -1,15 +1,18 @@
 # Build and verification tiers. `make check` is the full local gate:
 # static vetting, the complete test suite under the race detector, short
 # fuzz smokes of the trace parser, the journal replayer, the job-spec
-# decoder, and the policy-registry wire form, the kernel stress tests under
-# -race, the parallel-sweep determinism proof under -race, the durability
-# (checkpoint/resume/retry) suite under -race, the oracle/policy-zoo
-# differential suite under -race, the sweep-service suite under -race, and
-# the service chaos harness (seeded disk faults + kill/restart) under -race.
+# decoder, the policy-registry wire form, and the fabric shard-plan ledger,
+# the kernel stress tests under -race, the parallel-sweep determinism proof
+# under -race, the durability (checkpoint/resume/retry) suite under -race,
+# the oracle/policy-zoo differential suite under -race, the sweep-service
+# suite under -race, the service chaos harness (seeded disk faults +
+# kill/restart) under -race, and the distributed-fabric chaos suite (peer
+# SIGKILL, network faults, coordinator kill+resume, steal races) under
+# -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race bench-sweep bench-guard
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race fabric-race bench-sweep bench-guard
 
 build:
 	$(GO) build ./...
@@ -29,6 +32,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=10s ./internal/service/
 	$(GO) test -run=^$$ -fuzz=FuzzTokenFileParse -fuzztime=10s ./internal/service/
 	$(GO) test -run=^$$ -fuzz=FuzzParamsDecode -fuzztime=10s .
+	$(GO) test -run=^$$ -fuzz=FuzzShardPlanDecode -fuzztime=10s ./internal/fabric/
 
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
@@ -75,8 +79,18 @@ chaos-race:
 	$(GO) test -race -count=1 -run 'Chaos|CompactionRace|GC|Preempt|EventsSurvive' -v ./internal/service/
 	$(GO) test -race -count=1 -v ./internal/fault/
 
-# Worker-count ladder (1/2/4/NumCPU) over the full Table 2 grid, recorded
-# to BENCH_sweep.json (also verifies every merge against the serial
+# The distributed sweep fabric under the race detector: shard round-trip
+# byte identity, leased re-dispatch, work-stealing from stragglers, seeded
+# network chaos, peer SIGKILL mid-shard, coordinator SIGKILL + ledger
+# resume, and the fleet falling back to local execution with every peer
+# down. Every merged result must be byte-identical to the serial sweep.
+fabric-race:
+	$(GO) test -race -count=1 -v ./internal/fabric/
+	$(GO) test -race -count=1 -run 'Shard|Merge' -v .
+
+# Worker-count ladder (1/2/4/NumCPU) over the full Table 2 grid, plus
+# fabric legs coordinating 1/2/4 in-process peers, recorded to
+# BENCH_sweep.json (also verifies every merge against the serial
 # baseline).
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -out BENCH_sweep.json
@@ -88,5 +102,5 @@ bench-sweep:
 bench-guard:
 	$(GO) run ./cmd/benchsweep -guard -baseline BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race bench-guard
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race fabric-race bench-guard
 	@echo "check: all tiers passed"

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"reflect"
 	"runtime"
@@ -30,7 +31,68 @@ import (
 	"time"
 
 	"clocksched"
+	"clocksched/internal/fabric"
+	"clocksched/internal/service"
 )
+
+// fabricLeg times the reference grid through the fabric coordinator over n
+// in-process sweepd peers — real HTTP dispatch over loopback, leases,
+// merge — and verifies the merged cells against the serial baseline.
+func fabricLeg(n int, serial *clocksched.SweepResult, serialTime time.Duration) (run, error) {
+	workers := max(1, runtime.NumCPU()/n)
+	var urls []string
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "benchsweep-peer-*")
+		if err != nil {
+			return run{}, err
+		}
+		defer os.RemoveAll(dir)
+		s, err := service.New(service.Config{DataDir: dir, Workers: workers, MaxActiveJobs: 2})
+		if err != nil {
+			return run{}, err
+		}
+		hs := httptest.NewServer(s)
+		defer hs.Close()
+		defer s.Close()
+		urls = append(urls, hs.URL)
+	}
+	coordDir, err := os.MkdirTemp("", "benchsweep-coord-*")
+	if err != nil {
+		return run{}, err
+	}
+	defer os.RemoveAll(coordDir)
+	co, err := fabric.New(fabric.Config{Peers: urls, Dir: coordDir, LocalWorkers: workers})
+	if err != nil {
+		return run{}, err
+	}
+
+	start := time.Now()
+	res, err := co.Run(context.Background(), clocksched.NewSweepSpec(table2Config(0)))
+	legTime := time.Since(start)
+	if err != nil {
+		return run{}, err
+	}
+	identical := len(serial.Cells) == len(res.Cells)
+	for i := range serial.Cells {
+		if !identical {
+			break
+		}
+		identical = reflect.DeepEqual(serial.Cells[i].Result, res.Cells[i].Result)
+	}
+	leg := run{
+		Workers:     n * workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Seconds:     legTime.Seconds(),
+		Identical:   identical,
+		FabricPeers: n,
+	}
+	if legTime > 0 {
+		leg.CellsPerSec = float64(len(res.Cells)) / legTime.Seconds()
+		leg.Speedup = serialTime.Seconds() / legTime.Seconds()
+	}
+	return leg, nil
+}
 
 // run is one timed leg of the ladder.
 type run struct {
@@ -41,6 +103,10 @@ type run struct {
 	CellsPerSec float64 `json:"cells_per_sec"`
 	Speedup     float64 `json:"speedup"`
 	Identical   bool    `json:"identical"`
+	// FabricPeers marks a distributed-fabric leg: the grid was sharded
+	// across this many in-process sweepd peers through the fabric
+	// coordinator instead of the plain worker pool.
+	FabricPeers int `json:"fabric_peers,omitempty"`
 	// Note flags legs whose Speedup must not be read as parallel scaling
 	// (multi-worker legs on a single-CPU host).
 	Note string `json:"note,omitempty"`
@@ -169,6 +235,8 @@ func main() {
 			"per-cell retry budget for transient failures on the ladder legs")
 		progress = flag.Bool("progress", false,
 			"print per-cell completion counts; resumed runs start at the replayed count")
+		fabricLegs = flag.Bool("fabric", true,
+			"append distributed-fabric legs (grid sharded across 1/2/4 in-process sweepd peers) to the ladder")
 		guardMode = flag.Bool("guard", false,
 			"regression-check serial throughput against -baseline instead of recording a ladder")
 		baseline  = flag.String("baseline", "BENCH_sweep.json", "committed report -guard compares against")
@@ -273,6 +341,29 @@ func main() {
 		r.Runs = append(r.Runs, leg)
 		fmt.Printf("%d cells, %d workers (GOMAXPROCS %d, %d cpu): %.3fs (%.1f cells/s, %.2fx), identical=%v\n",
 			len(res.Cells), w, leg.GOMAXPROCS, leg.NumCPU, leg.Seconds, leg.CellsPerSec, leg.Speedup, identical)
+	}
+
+	if *fabricLegs {
+		for _, peers := range []int{1, 2, 4} {
+			leg, err := fabricLeg(peers, serial, serialTime)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: fabric %d peers: %v\n", peers, err)
+				os.Exit(1)
+			}
+			if singleCPU && peers > 1 {
+				leg.Note = singleCPUNote
+				if leg.Speedup > 1 {
+					fmt.Fprintf(os.Stderr,
+						"benchsweep: suppressing %.2fx apparent fabric speedup with %d peers on 1 CPU\n",
+						leg.Speedup, peers)
+				}
+				leg.Speedup = 0
+			}
+			ok = ok && leg.Identical
+			r.Runs = append(r.Runs, leg)
+			fmt.Printf("%d cells, fabric of %d peer(s): %.3fs (%.1f cells/s, %.2fx), identical=%v\n",
+				r.Cells, peers, leg.Seconds, leg.CellsPerSec, leg.Speedup, leg.Identical)
+		}
 	}
 
 	b, err := json.MarshalIndent(r, "", "  ")

@@ -1,0 +1,99 @@
+package main
+
+// Fleet execution: -peers runs the Table 2 grid through the fabric
+// coordinator from this process — shards leased across the listed sweepd
+// daemons, stolen from stragglers near the tail, and executed locally when
+// the whole fleet is unreachable — then folds the merged result into the
+// same table the local and -remote paths render. The merge is
+// byte-identical to a local Sweep, so the fleet is purely a throughput
+// decision.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"clocksched"
+	"clocksched/internal/expt"
+	"clocksched/internal/fabric"
+)
+
+// splitPeers parses the comma-separated -peers list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runFleet coordinates the Table 2 grid across the peer fleet. Fabric
+// state (lease ledger, committed shards) lives under <out>/fabric, so an
+// interrupted run resumes from its committed shards on the next
+// invocation.
+func runFleet(peerList, token, outDir, only string, seed uint64, progress bool) int {
+	if only != "" && only != "table2" {
+		fmt.Fprintf(os.Stderr, "experiments: -peers runs the table2 grid; %q is local-only (drop -peers)\n", only)
+		return 2
+	}
+	peers := splitPeers(peerList)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := fabric.Config{
+		Peers: peers,
+		Token: token,
+		Dir:   filepath.Join(outDir, "fabric"),
+	}
+	if progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "experiments: cell %d/%d\n", done, total)
+		}
+	}
+	co, err := fabric.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: fleet:", err)
+		return 1
+	}
+
+	spec := clocksched.NewSweepSpec(remoteTable2Config(seed))
+	fmt.Printf("==> table2 (fleet of %d peer(s)) — %d cells\n", len(peers), spec.NumCells())
+	res, err := co.Run(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: fleet run:", err)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; committed shards are ledgered — run again to resume")
+		}
+		return 1
+	}
+	if res.Telemetry.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: fleet replayed %d cell(s) from the shard ledger\n", res.Telemetry.Replayed)
+	}
+
+	rows, err := foldTable2(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: fleet table2:", err)
+		return 1
+	}
+	summary := expt.RenderTable2(rows)
+	fmt.Print(summary)
+
+	artifact := filepath.Join(outDir, "table2_fleet.txt")
+	if err := os.WriteFile(artifact, []byte(summary), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("\nartifact written to %s\n", artifact)
+	return 0
+}

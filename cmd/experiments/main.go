@@ -14,6 +14,7 @@
 //	experiments -list
 //	experiments -out /tmp/repro -seed 3 -workers 4
 //	experiments -nocache   # recompute every cell
+//	experiments -peers http://node1:8900,http://node2:8900   # fleet-coordinated table2
 package main
 
 import (
@@ -53,6 +54,9 @@ func main() {
 			"print per-cell completion counts for grid experiments; resumed runs start at the replayed count")
 		remote = flag.String("remote", "",
 			"submit grid work to a sweepd daemon at this base URL (e.g. http://localhost:8900) instead of simulating locally")
+		peers = flag.String("peers", "",
+			"comma-separated sweepd base URLs: coordinate the grid across the fleet via the fabric (shards, leases, work-stealing)")
+		peerToken = flag.String("peer-token", "", "bearer token sent to every -peers daemon")
 	)
 	flag.Parse()
 
@@ -65,14 +69,21 @@ func main() {
 
 	// run holds the defers (telemetry drain, journal close) so they fire on
 	// every exit path, including an interrupt; os.Exit would skip them.
-	os.Exit(run(outDir, only, seed, workers, nocache, resume, cellTimeout, retries, telAddr, progress, remote))
+	os.Exit(run(outDir, only, seed, workers, nocache, resume, cellTimeout, retries, telAddr, progress, remote, peers, peerToken))
 }
 
 func run(outDir, only *string, seed *uint64, workers *int, nocache, resume *bool,
-	cellTimeout *time.Duration, retries *int, telAddr *string, progress *bool, remote *string) int {
+	cellTimeout *time.Duration, retries *int, telAddr *string, progress *bool, remote, peers, peerToken *string) int {
 
+	if *remote != "" && *peers != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -remote and -peers are mutually exclusive (one daemon vs a coordinated fleet)")
+		return 2
+	}
 	if *remote != "" {
 		return runRemote(*remote, *outDir, *only, *seed, *progress)
+	}
+	if *peers != "" {
+		return runFleet(*peers, *peerToken, *outDir, *only, *seed, *progress)
 	}
 
 	experiments := expt.Registry()

@@ -13,6 +13,12 @@
 //
 //	sweepd -addr :8900 -data /var/lib/sweepd
 //	sweepd -addr 127.0.0.1:0 -data ./sweepd-data -max-jobs 2 -workers 4
+//	sweepd -addr :8900 -data ./coord -peers http://node1:8900,http://node2:8900
+//
+// With -peers, the daemon becomes a fabric coordinator: every accepted job
+// is decomposed into shards dispatched across the peer fleet (leases,
+// work-stealing, and local fallback when every peer is down — see
+// DESIGN.md §15), while the API surface stays identical.
 //
 // Submit work with curl (see the README quickstart) or programmatically
 // via the service client used by `experiments -remote`. SIGTERM drains:
@@ -29,12 +35,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"clocksched"
+	"clocksched/internal/fabric"
 	"clocksched/internal/service"
+	"clocksched/internal/telemetry"
 )
 
 func main() {
@@ -55,12 +65,16 @@ func main() {
 		maxBytes = flag.Int64("max-data-bytes", 0,
 			"jobs/ footprint the reaper trims terminal jobs down to; 0 is unlimited")
 		gcEvery = flag.Duration("gc-interval", time.Minute, "retention reaper cadence")
+		peers   = flag.String("peers", "",
+			"comma-separated base URLs of peer sweepd daemons; jobs are sharded across them through the fabric coordinator (must not include this daemon)")
+		peerToken = flag.String("peer-token", "", "bearer token sent to every -peers daemon")
 	)
 	flag.Parse()
 	os.Exit(run(config{
 		addr: *addr, dataDir: *dataDir, maxQueue: *maxQueue, maxJobs: *maxJobs,
 		workers: *workers, retry: *retry, drain: *drain, tokens: *tokens,
 		retain: *retain, maxBytes: *maxBytes, gcEvery: *gcEvery,
+		peers: splitPeers(*peers), peerToken: *peerToken,
 	}))
 }
 
@@ -69,6 +83,19 @@ type config struct {
 	maxQueue, maxJobs, workers, retain int
 	maxBytes                           int64
 	retry, drain, gcEvery              time.Duration
+	peers                              []string
+	peerToken                          string
+}
+
+// splitPeers parses the comma-separated peer list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func run(c config) int {
@@ -81,6 +108,31 @@ func run(c config) int {
 		}
 		fmt.Printf("sweepd: auth enabled, %d client tokens\n", auth.Len())
 	}
+	// With -peers, every accepted job runs through the fabric coordinator:
+	// sharded across the fleet with leased re-dispatch, work-stealing, and
+	// local fallback, its per-peer counters exported on /metrics.
+	var executor func(ctx context.Context, job service.ExecJob) (*clocksched.SweepResult, error)
+	var metrics []telemetry.Scoped
+	if len(c.peers) > 0 {
+		fabReg := telemetry.New()
+		metrics = append(metrics, telemetry.Scoped{Reg: fabReg})
+		executor = func(ctx context.Context, job service.ExecJob) (*clocksched.SweepResult, error) {
+			co, err := fabric.New(fabric.Config{
+				Peers:        c.peers,
+				Token:        c.peerToken,
+				Dir:          filepath.Join(job.Dir, "fabric"),
+				Cache:        job.Config.Cache,
+				LocalWorkers: job.Config.Workers,
+				Progress:     job.Config.Progress,
+				Telemetry:    fabReg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return co.Run(ctx, job.Spec)
+		}
+		fmt.Printf("sweepd: fabric coordinator enabled across %d peer(s)\n", len(c.peers))
+	}
 	svc, err := service.New(service.Config{
 		DataDir:       c.dataDir,
 		MaxQueue:      c.maxQueue,
@@ -91,6 +143,8 @@ func run(c config) int {
 		RetainResults: c.retain,
 		MaxDataBytes:  c.maxBytes,
 		GCInterval:    c.gcEvery,
+		Executor:      executor,
+		Metrics:       metrics,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)

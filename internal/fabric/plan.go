@@ -1,0 +1,131 @@
+// Package fabric is the distributed sweep coordinator: it decomposes one
+// SweepSpec into contiguous cell shards, leases each shard to a peer
+// sweepd over the existing /v1/jobs API, and merges the returned results
+// into a SweepResult byte-identical to an uninterrupted serial run.
+//
+// Robustness is the design center, built from four mechanisms:
+//
+//   - Leases. Every shard dispatch is journaled (plan / lease / done
+//     records in the coordinator's crash-safe ledger, reusing the
+//     internal/journal CRC framing), and a lease whose peer stops making
+//     progress past the heartbeat deadline is re-dispatched with seeded
+//     jittered backoff. A coordinator killed mid-run resumes its ledger:
+//     committed shards verify against their on-disk bytes and are not
+//     recomputed, and leased jobs still running on their peers are
+//     adopted rather than resubmitted.
+//   - Work-stealing. Near the tail, an idle runner duplicates the
+//     stalest in-flight shard. Duplicate dispatch is safe by
+//     construction — the content-addressed cache and sim.Version
+//     stamping make any cell computed anywhere identical — so the first
+//     verified result wins and later copies are discarded; a sha256
+//     mismatch between two copies of the same shard is a determinism
+//     violation and fails the sweep loudly.
+//   - Local degradation. A local runner executes shards whenever there
+//     are no peers, every peer is down, or a shard has exhausted its
+//     remote attempts — so a one-node fabric is exactly today's local
+//     sweepd, and a fleet whose every peer dies still completes.
+//   - Structured failure. Every unrecoverable path — invalid spec,
+//     version skew, auth rejection, a shard that fails even locally, a
+//     determinism violation — surfaces a *service.APIError; the fabric
+//     never hangs, panics, or returns a silently partial result.
+package fabric
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Ledger record ops.
+const (
+	opPlan  = "plan"
+	opLease = "lease"
+	opDone  = "done"
+)
+
+// ShardPlan is the ledger's plan record payload: the sharding decision,
+// bound to the spec by hash so a resumed coordinator can never mix
+// ledgers across specs.
+type ShardPlan struct {
+	// SpecSHA is the sha256 (hex) of the spec's canonical JSON.
+	SpecSHA string `json:"spec_sha"`
+	// Total is the spec's grid size in cells.
+	Total int `json:"total"`
+	// ShardCells is the cells-per-shard stride; the last shard may be
+	// shorter.
+	ShardCells int `json:"shard_cells"`
+	// Count is the shard count, ceil(Total/ShardCells).
+	Count int `json:"count"`
+}
+
+// Record is one entry of the coordinator's ledger. Exactly one op-specific
+// field set is populated: Plan for "plan"; Shard/Peer/Job/Attempt for
+// "lease"; Shard/SHA for "done".
+type Record struct {
+	Op      string     `json:"op"`
+	Plan    *ShardPlan `json:"plan,omitempty"`
+	Shard   int        `json:"shard,omitempty"`
+	Peer    string     `json:"peer,omitempty"`
+	Job     string     `json:"job,omitempty"`
+	Attempt int        `json:"attempt,omitempty"`
+	SHA     string     `json:"sha,omitempty"`
+}
+
+// isHexDigest reports whether s is a lowercase sha256 hex digest.
+func isHexDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
+}
+
+// DecodeShardPlan parses and validates one ledger record. It is the exact
+// decoder the coordinator's resume path uses — unknown fields, unknown
+// ops, and structurally impossible values are rejected, never guessed at
+// — and the fuzz target drives it directly.
+func DecodeShardPlan(b []byte) (Record, error) {
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("fabric: decoding ledger record: %w", err)
+	}
+	if dec.More() {
+		return Record{}, fmt.Errorf("fabric: trailing data after ledger record")
+	}
+	switch rec.Op {
+	case opPlan:
+		p := rec.Plan
+		if p == nil {
+			return Record{}, fmt.Errorf("fabric: plan record missing plan")
+		}
+		if !isHexDigest(p.SpecSHA) {
+			return Record{}, fmt.Errorf("fabric: plan record spec_sha is not a sha256 digest")
+		}
+		if p.Total <= 0 || p.ShardCells <= 0 {
+			return Record{}, fmt.Errorf("fabric: plan record with non-positive total %d or shard_cells %d", p.Total, p.ShardCells)
+		}
+		if want := (p.Total + p.ShardCells - 1) / p.ShardCells; p.Count != want {
+			return Record{}, fmt.Errorf("fabric: plan record count %d, want %d for %d cells / %d per shard",
+				p.Count, want, p.Total, p.ShardCells)
+		}
+	case opLease:
+		if rec.Shard < 0 || rec.Job == "" {
+			return Record{}, fmt.Errorf("fabric: lease record missing shard or job")
+		}
+	case opDone:
+		if rec.Shard < 0 || !isHexDigest(rec.SHA) {
+			return Record{}, fmt.Errorf("fabric: done record missing shard or sha256 digest")
+		}
+	default:
+		return Record{}, fmt.Errorf("fabric: unknown ledger op %q", rec.Op)
+	}
+	return rec, nil
+}
+
+// encodeRecord is DecodeShardPlan's inverse; ledger appends go through it.
+func encodeRecord(rec Record) ([]byte, error) {
+	return json.Marshal(rec)
+}

@@ -1,0 +1,268 @@
+package fault
+
+// Injectable network faults. A NetPlan declares how often the HTTP
+// round-trips between a sweep-fabric coordinator and its peers misbehave;
+// a NetInjector draws every decision from its own seeded RNG stream —
+// exactly like the simulation-fault Injector and the DiskInjector — so a
+// chaos run's fault schedule is repeatable from its seed.
+//
+// The injected failures are the ways a real network dies under a
+// coordinator: the peer's port refusing connections, a slow link delaying
+// a request, a response body cut mid-stream (proxy timeout, peer crash
+// mid-send), and a partition episode that blackholes a run of consecutive
+// requests. Every injected error wraps ErrNetFault so the layers above
+// can distinguish injected damage from programming bugs, and every
+// decision is tallied in NetCounts.
+//
+// A nil *NetInjector is the disabled layer: RoundTripper returns the next
+// transport unchanged, which is what lets a client thread an injector
+// unconditionally.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"clocksched/internal/sim"
+)
+
+// NetStream is the network injector's RNG stream id under its seed,
+// distinct from the simulation and disk streams so arming network faults
+// never perturbs either schedule.
+const NetStream = 0x7E7FA017
+
+// ErrNetFault is wrapped by every injected network failure, so callers
+// can tell injected damage from real outages with errors.Is.
+var ErrNetFault = errors.New("fault: injected network fault")
+
+// NetPlan declares the network faults to inject. The zero value injects
+// nothing. Probabilities are per opportunity (per request, per response
+// body) in [0, 1].
+type NetPlan struct {
+	// RefuseProb is the probability that one request fails before any
+	// bytes move — a connection refused.
+	RefuseProb float64
+	// LatencyProb is the probability that one request is delayed by a
+	// seeded duration in (0, LatencyMax] before being forwarded.
+	LatencyProb float64
+	// LatencyMax bounds an injected delay; zero selects 50ms.
+	LatencyMax time.Duration
+	// CutBodyProb is the probability that one successful response's body
+	// is cut after a seeded prefix — the reader sees some bytes, then an
+	// error instead of EOF.
+	CutBodyProb float64
+	// PartitionProb is the probability that one request starts a
+	// partition episode: it and the next seeded count of requests all
+	// fail outright, which is what a routing blackhole looks like from
+	// one endpoint.
+	PartitionProb float64
+	// PartitionRequests bounds an episode's length in requests; zero
+	// selects 8.
+	PartitionRequests int
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *NetPlan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.RefuseProb > 0 || p.LatencyProb > 0 || p.CutBodyProb > 0 || p.PartitionProb > 0
+}
+
+// Validate checks every rate is in range.
+func (p *NetPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"RefuseProb", p.RefuseProb},
+		{"LatencyProb", p.LatencyProb},
+		{"CutBodyProb", p.CutBodyProb},
+		{"PartitionProb", p.PartitionProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 || pr.v != pr.v {
+			return fmt.Errorf("fault: %s = %v out of [0, 1]", pr.name, pr.v)
+		}
+	}
+	if p.LatencyMax < 0 {
+		return fmt.Errorf("fault: negative LatencyMax %v", p.LatencyMax)
+	}
+	if p.PartitionRequests < 0 {
+		return fmt.Errorf("fault: negative PartitionRequests %d", p.PartitionRequests)
+	}
+	return nil
+}
+
+// NetCounts tallies what a network injector actually did.
+type NetCounts struct {
+	Refused    int // connection-refused failures
+	Delayed    int // requests delayed
+	Cut        int // response bodies cut mid-stream
+	Partitions int // partition episodes started
+	Dropped    int // requests failed inside a partition episode
+}
+
+// Total returns the number of injected request-level faults of every kind.
+func (c NetCounts) Total() int {
+	return c.Refused + c.Delayed + c.Cut + c.Partitions + c.Dropped
+}
+
+// String summarizes the tally compactly.
+func (c NetCounts) String() string {
+	return fmt.Sprintf("refused %d, delayed %d, cut bodies %d, partitions %d, dropped %d",
+		c.Refused, c.Delayed, c.Cut, c.Partitions, c.Dropped)
+}
+
+// NetInjector executes a NetPlan over an http.RoundTripper. It is safe
+// for concurrent use — a coordinator's per-peer clients may share one
+// injector. A nil *NetInjector injects nothing.
+type NetInjector struct {
+	mu            sync.Mutex
+	plan          NetPlan
+	rng           *sim.RNG
+	counts        NetCounts
+	partitionLeft int // requests remaining in the current episode
+}
+
+// NewNetInjector builds an injector for the plan under the given seed. A
+// nil or all-zero plan yields a nil injector (real transport), so callers
+// can thread the result unconditionally.
+func NewNetInjector(p *NetPlan, seed uint64) (*NetInjector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	return &NetInjector{
+		plan: *p,
+		rng:  sim.NewRNGStream(seed, NetStream),
+	}, nil
+}
+
+// Counts returns the tally of injected network faults so far.
+func (in *NetInjector) Counts() NetCounts {
+	if in == nil {
+		return NetCounts{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// RoundTripper wraps next with the injector's faults; a nil next selects
+// http.DefaultTransport, and a nil injector returns next unchanged (or
+// the default transport), so the seam costs nothing when faults are off.
+func (in *NetInjector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if in == nil {
+		return next
+	}
+	return &faultTransport{in: in, next: next}
+}
+
+// faultTransport is the RoundTripper the injector hands out.
+type faultTransport struct {
+	in   *NetInjector
+	next http.RoundTripper
+}
+
+// decide draws this request's fate under the injector's lock. Concurrent
+// requests serialize their draws, so the schedule is a deterministic
+// function of the seed and the arrival order.
+func (in *NetInjector) decide(host string) (fail error, delay time.Duration, cutAt int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.partitionLeft > 0 {
+		in.partitionLeft--
+		in.counts.Dropped++
+		return fmt.Errorf("%w: partitioned from %s", ErrNetFault, host), 0, -1
+	}
+	if in.rng.Bool(in.plan.PartitionProb) {
+		in.counts.Partitions++
+		n := in.plan.PartitionRequests
+		if n <= 0 {
+			n = 8
+		}
+		in.partitionLeft = int(in.rng.Int63n(int64(n))) + 1
+		return fmt.Errorf("%w: partition opened toward %s", ErrNetFault, host), 0, -1
+	}
+	if in.rng.Bool(in.plan.RefuseProb) {
+		in.counts.Refused++
+		return fmt.Errorf("%w: connection refused by %s", ErrNetFault, host), 0, -1
+	}
+	if in.rng.Bool(in.plan.LatencyProb) {
+		in.counts.Delayed++
+		maxD := in.plan.LatencyMax
+		if maxD <= 0 {
+			maxD = 50 * time.Millisecond
+		}
+		delay = time.Duration(in.rng.Int63n(int64(maxD))) + 1
+	}
+	cutAt = -1
+	if in.rng.Bool(in.plan.CutBodyProb) {
+		in.counts.Cut++
+		// Cut after a seeded short prefix: small enough to hit even
+		// modest response bodies, never zero so headers-only consumers
+		// survive.
+		cutAt = in.rng.Int63n(4096) + 1
+	}
+	return nil, delay, cutAt
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	fail, delay, cutAt := t.in.decide(req.URL.Host)
+	if fail != nil {
+		return nil, fail
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil || cutAt < 0 {
+		return resp, err
+	}
+	resp.Body = &cutBody{rc: resp.Body, remain: cutAt}
+	return resp, nil
+}
+
+// cutBody serves a prefix of the underlying body, then fails — what a
+// reader sees when the sender dies mid-response.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("%w: response body cut mid-stream", ErrNetFault)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == io.EOF && b.remain > 0 {
+		// The body ended before the cut point: pass the clean EOF through.
+		return n, err
+	}
+	if b.remain <= 0 && err == nil {
+		err = fmt.Errorf("%w: response body cut mid-stream", ErrNetFault)
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

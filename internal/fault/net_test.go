@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetPlanValidateAndEnabled(t *testing.T) {
+	var nilPlan *NetPlan
+	if nilPlan.Enabled() || nilPlan.Validate() != nil {
+		t.Error("nil plan must validate and be disabled")
+	}
+	if (&NetPlan{}).Enabled() {
+		t.Error("zero plan enabled")
+	}
+	if !(&NetPlan{RefuseProb: 0.1}).Enabled() {
+		t.Error("refusing plan disabled")
+	}
+	bad := []NetPlan{
+		{RefuseProb: -0.1},
+		{LatencyProb: 1.5},
+		{CutBodyProb: 2},
+		{PartitionProb: -1},
+		{LatencyMax: -time.Second},
+		{PartitionRequests: -3},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewNetInjector(&NetPlan{RefuseProb: 2}, 1); err == nil {
+		t.Error("NewNetInjector accepted an invalid plan")
+	}
+}
+
+func TestNetInjectorNilIsDisabled(t *testing.T) {
+	in, err := NewNetInjector(&NetPlan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Fatal("zero plan built a live injector")
+	}
+	if in.Counts() != (NetCounts{}) {
+		t.Error("nil injector has counts")
+	}
+	next := http.DefaultTransport
+	if got := in.RoundTripper(next); got != next {
+		t.Error("nil injector wrapped the transport")
+	}
+	if got := in.RoundTripper(nil); got != http.DefaultTransport {
+		t.Error("nil injector with nil next must be the default transport")
+	}
+}
+
+// roundTrips runs n GETs against a live server through the injector and
+// reports per-request outcomes: "ok", "fault" (request error), or "cut"
+// (body error mid-read).
+func roundTrips(t *testing.T, in *NetInjector, n int) []string {
+	t.Helper()
+	body := strings.Repeat("x", 8192) // longer than the injector's cut range
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+	var out []string
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			if !errors.Is(err, ErrNetFault) {
+				t.Fatalf("request %d failed with a non-injected error: %v", i, err)
+			}
+			out = append(out, "fault")
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case err == nil && string(b) == body:
+			out = append(out, "ok")
+		case err != nil && errors.Is(err, ErrNetFault):
+			if len(b) == 0 || len(b) >= len(body) {
+				t.Fatalf("request %d cut outside the body: %d of %d bytes", i, len(b), len(body))
+			}
+			out = append(out, "cut")
+		default:
+			t.Fatalf("request %d: unexpected body outcome (%d bytes, err %v)", i, len(b), err)
+		}
+	}
+	return out
+}
+
+func TestNetInjectorEveryFaultKindFires(t *testing.T) {
+	plan := &NetPlan{
+		RefuseProb:        0.2,
+		LatencyProb:       0.2,
+		LatencyMax:        time.Millisecond,
+		CutBodyProb:       0.2,
+		PartitionProb:     0.05,
+		PartitionRequests: 3,
+	}
+	in, err := NewNetInjector(plan, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := roundTrips(t, in, 200)
+	c := in.Counts()
+	if c.Refused == 0 || c.Delayed == 0 || c.Cut == 0 || c.Partitions == 0 || c.Dropped == 0 {
+		t.Fatalf("not every fault kind fired in 200 requests: %v", c)
+	}
+	if c.Total() == 0 || c.String() == "" {
+		t.Error("counts accessors broken")
+	}
+	faults := 0
+	for _, o := range outcomes {
+		if o != "ok" {
+			faults++
+		}
+	}
+	// Request-level failures observed by the client must equal the injector's
+	// own tally of refusals, partition opens, drops, and cuts.
+	if want := c.Refused + c.Partitions + c.Dropped + c.Cut; faults != want {
+		t.Errorf("client saw %d faults, injector tallied %d (%v)", faults, want, c)
+	}
+}
+
+func TestNetInjectorDeterministicUnderSeed(t *testing.T) {
+	plan := &NetPlan{RefuseProb: 0.3, CutBodyProb: 0.2, PartitionProb: 0.05}
+	run := func(seed uint64) ([]string, NetCounts) {
+		in, err := NewNetInjector(plan, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return roundTrips(t, in, 100), in.Counts()
+	}
+	a, ca := run(7)
+	b, cb := run(7)
+	if ca != cb {
+		t.Fatalf("same seed, different counts: %v vs %v", ca, cb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, request %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+	_, cc := run(8)
+	if ca == cc {
+		t.Error("different seeds produced an identical fault schedule (suspicious)")
+	}
+}
+
+func TestNetInjectorPartitionEpisode(t *testing.T) {
+	// PartitionProb 1 opens an episode on the first request; every request
+	// fails until the episode drains, then the next one immediately opens
+	// another.
+	in, err := NewNetInjector(&NetPlan{PartitionProb: 1, PartitionRequests: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := in.RoundTripper(http.DefaultTransport)
+	for i := 0; i < 20; i++ {
+		req, _ := http.NewRequest("GET", "http://peer.invalid/", nil)
+		if _, err := rt.RoundTrip(req); !errors.Is(err, ErrNetFault) {
+			t.Fatalf("request %d not dropped: %v", i, err)
+		}
+	}
+	c := in.Counts()
+	if c.Partitions == 0 || c.Dropped == 0 || c.Partitions+c.Dropped != 20 {
+		t.Fatalf("partition accounting off: %v", c)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -27,9 +28,24 @@ import (
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8900".
 	Base string
-	// HTTP, when non-nil, overrides http.DefaultClient (tests inject a
-	// transport; CLIs set timeouts).
+	// HTTP, when non-nil, overrides the client's default http.Client
+	// entirely (tests inject one; CLIs with exotic needs set their own
+	// policies). When nil, the client builds a private http.Client over a
+	// transport with sane dial/TLS/response-header timeouts — never
+	// http.DefaultClient, whose zero timeouts let one hung peer wedge a
+	// caller forever.
 	HTTP *http.Client
+	// Transport, when non-nil (and HTTP is nil), is the RoundTripper
+	// under the default client — the seam the fabric chaos suite uses to
+	// thread a fault.NetInjector beneath every request.
+	Transport http.RoundTripper
+	// RequestTimeout bounds each non-streaming request (submit, status,
+	// cancel, result fetch) with a context deadline. Zero selects 30s;
+	// negative disables the per-request deadline. The SSE event stream is
+	// exempt — it is long-lived by design and has its own reconnect
+	// budget — but still inherits the transport's response-header timeout,
+	// so a peer that accepts the connection and then hangs is surfaced.
+	RequestTimeout time.Duration
 	// Token, when non-empty, is sent as the bearer token on every request
 	// — required when the daemon runs with a token file.
 	Token string
@@ -46,17 +62,61 @@ type Client struct {
 	jitterOnce sync.Once
 	jitterMu   sync.Mutex
 	jitter     *sim.RNG
+
+	httpOnce sync.Once
+	httpVal  *http.Client
 }
 
 // retryStream is the client's RNG stream id for retry jitter, distinct
 // from every simulation stream.
 const retryStream = 0xBACC0FF5
 
+// defaultRequestTimeout is the per-request deadline when RequestTimeout
+// is zero: generous against a big result download, tiny against a wedged
+// peer's infinity.
+const defaultRequestTimeout = 30 * time.Second
+
+// defaultTransport builds the client's private transport: bounded dial,
+// TLS handshake, and response-header waits, so no single peer interaction
+// can block longer than its budget. Deliberately not http.Client.Timeout —
+// that would also kill long-lived SSE streams mid-read.
+func defaultTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		MaxIdleConnsPerHost:   4,
+	}
+}
+
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	c.httpOnce.Do(func() {
+		tr := c.Transport
+		if tr == nil {
+			tr = defaultTransport()
+		}
+		c.httpVal = &http.Client{Transport: tr}
+	})
+	return c.httpVal
+}
+
+// reqCtx applies the per-request deadline; see Client.RequestTimeout.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := c.RequestTimeout
+	if d == 0 {
+		d = defaultRequestTimeout
+	}
+	if d < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 func (c *Client) url(path string) string {
@@ -112,8 +172,11 @@ func decodeError(resp *http.Response) error {
 		Message: fmt.Sprintf("unexpected response: %s", bytes.TrimSpace(body))}
 }
 
-// do issues one request and decodes a JSON response into out (unless nil).
+// do issues one request under the per-request deadline and decodes a JSON
+// response into out (unless nil).
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -201,8 +264,11 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// ResultBytes fetches a finished job's canonical result envelope.
+// ResultBytes fetches a finished job's canonical result envelope, under
+// the per-request deadline.
 func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err

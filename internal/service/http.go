@@ -12,6 +12,7 @@ package service
 //	DELETE /v1/jobs/{id}        cancel at the next quantum boundary
 //	GET    /metrics             service + per-job Prometheus metrics
 //	GET    /healthz             liveness
+//	GET    /readyz              readiness: drain state + queue/runner occupancy
 //
 // Backpressure is visible at the protocol level: a full admission queue
 // answers 429 with a Retry-After header, a mismatched sim.Version answers
@@ -128,7 +129,7 @@ func (s *Server) authenticate(r *http.Request) (string, error) {
 // configured (liveness stays open — a monitor should not need a secret to
 // ask if the daemon is up).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Auth != nil && r.URL.Path != "/healthz" {
+	if s.cfg.Auth != nil && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
 		client, err := s.authenticate(r)
 		if err != nil {
 			writeError(w, err)
@@ -155,9 +156,25 @@ func (s *Server) mux() *http.ServeMux {
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintf(w, `{"ok":true,"sim_version":%q}`+"\n", clocksched.SimVersion())
 		})
+		m.HandleFunc("GET /readyz", s.handleReady)
 		s.muxVal = m
 	})
 	return s.muxVal
+}
+
+// handleReady answers readiness probes: 200 with the admission snapshot
+// while the daemon accepts work, 503 with the same body once it is
+// draining, closed, or backed up — so a probe can branch on the status
+// code alone and a coordinator can read the occupancy. Like /healthz it
+// is exempt from authentication: a load balancer should not need a secret
+// to route around a draining peer.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	rd := s.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
 }
 
 // writeError serializes any error as the structured JSON error envelope,

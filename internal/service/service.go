@@ -151,6 +151,35 @@ type Config struct {
 	// injectable filesystem surface. The chaos harness arms it with a
 	// fault.DiskInjector; production leaves it nil (the real filesystem).
 	FS journal.FS
+	// Executor, when non-nil, replaces the in-process clocksched.Sweep
+	// call for every job: it receives the job's identity, durable
+	// directory, spec, and the fully-resolved local SweepConfig (workers,
+	// cache, journal, progress, FS), and returns the job's result. The
+	// sweep daemon wires the distributed fabric coordinator here when a
+	// peer list is configured; nil runs every job locally, exactly as
+	// before.
+	Executor func(ctx context.Context, job ExecJob) (*clocksched.SweepResult, error)
+	// Metrics adds extra scoped registries to the /metrics export — the
+	// daemon exports the fabric coordinator's per-peer counters here.
+	Metrics []telemetry.Scoped
+}
+
+// ExecJob is the execution request handed to Config.Executor: everything
+// the server resolved about one job's run.
+type ExecJob struct {
+	// ID is the job id ("j17").
+	ID string
+	// Dir is the job's durable directory (dataDir/jobs/<id>), already
+	// created; an executor may keep its own state there.
+	Dir string
+	// Spec is the job's submitted spec, version-checked at admission.
+	Spec clocksched.SweepSpec
+	// Config is the fully-resolved configuration a local run would use:
+	// worker share, shared cache, per-job cell journal (Resume set),
+	// progress callback, telemetry, and the injectable FS. An executor
+	// that delegates elsewhere should still honour Progress and reuse
+	// Cache/FS for any local work.
+	Config clocksched.SweepConfig
 }
 
 // withDefaults resolves the zero fields.
@@ -805,6 +834,51 @@ func (s *Server) Status(id string) (JobStatus, error) {
 	return s.statusLocked(j), nil
 }
 
+// Readiness is the /readyz payload: whether the daemon is accepting work,
+// and the admission/runner occupancy a coordinator or load balancer needs
+// to route around a busy or draining peer.
+type Readiness struct {
+	// Ready reports the daemon accepts submissions right now: not
+	// draining, not closed, admission queue below its bound.
+	Ready bool `json:"ready"`
+	// Draining reports a graceful shutdown is underway (every submission
+	// answers 503).
+	Draining bool `json:"draining"`
+	// Queued is the admission-queue depth; MaxQueue its bound.
+	Queued   int `json:"queued"`
+	MaxQueue int `json:"max_queue"`
+	// ActiveJobs is how many jobs are running; MaxActiveJobs the runner
+	// count.
+	ActiveJobs    int `json:"active_jobs"`
+	MaxActiveJobs int `json:"max_active_jobs"`
+	// SimVersion is the daemon's simulation revision — a coordinator
+	// probing readiness learns version compatibility in the same call.
+	SimVersion string `json:"sim_version"`
+}
+
+// Readiness snapshots the daemon's admission state; see /readyz.
+func (s *Server) Readiness() Readiness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	return Readiness{
+		Ready:         !s.draining && !s.closed && s.admitted < s.cfg.MaxQueue,
+		Draining:      s.draining,
+		Queued:        s.queued,
+		MaxQueue:      s.cfg.MaxQueue,
+		ActiveJobs:    active,
+		MaxActiveJobs: s.cfg.MaxActiveJobs,
+		SimVersion:    clocksched.SimVersion(),
+	}
+}
+
 // Jobs lists every job in submission order.
 func (s *Server) Jobs() []JobStatus {
 	s.mu.Lock()
@@ -997,7 +1071,13 @@ func (s *Server) execute(ctx context.Context, j *job) {
 		}
 	}
 
-	res, sweepErr := clocksched.Sweep(ctx, cfg)
+	var res *clocksched.SweepResult
+	var sweepErr error
+	if s.cfg.Executor != nil {
+		res, sweepErr = s.cfg.Executor(ctx, ExecJob{ID: j.id, Dir: j.dir, Spec: j.spec, Config: cfg})
+	} else {
+		res, sweepErr = clocksched.Sweep(ctx, cfg)
+	}
 	if res != nil {
 		j.mu.Lock()
 		j.replayed = res.Telemetry.Replayed
@@ -1189,13 +1269,15 @@ func writeFileAtomic(path string, b []byte, fs journal.FS) error {
 	return fs.Rename(tmp.Name(), path)
 }
 
-// scopes snapshots the metric export set: the service registry plus every
+// scopes snapshots the metric export set: the service registry, any extra
+// registries from Config.Metrics (the fabric coordinator's), plus every
 // job's registry labelled job="<id>" (and client="…" when the job was
 // submitted with an identity), in stable id order.
 func (s *Server) scopes() []telemetry.Scoped {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := []telemetry.Scoped{{Reg: s.reg}}
+	out = append(out, s.cfg.Metrics...)
 	ids := append([]string(nil), s.order...)
 	sort.Strings(ids)
 	for _, id := range ids {
