@@ -6,13 +6,14 @@
 # under -race, the durability (checkpoint/resume/retry) suite under -race,
 # the oracle/policy-zoo differential suite under -race, the sweep-service
 # suite under -race, the service chaos harness (seeded disk faults +
-# kill/restart) under -race, and the distributed-fabric chaos suite (peer
+# kill/restart) under -race, the distributed-fabric chaos suite (peer
 # SIGKILL, network faults, coordinator kill+resume, steal races) under
-# -race.
+# -race, and the fleet population engine (generator determinism,
+# feasibility pre-pass, multi-mode byte identity, kill+resume) under -race.
 
 GO ?= go
 
-.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race fabric-race bench-sweep bench-guard
+.PHONY: build test check vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race fabric-race fleet-race bench-sweep bench-guard
 
 build:
 	$(GO) build ./...
@@ -33,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzTokenFileParse -fuzztime=10s ./internal/service/
 	$(GO) test -run=^$$ -fuzz=FuzzParamsDecode -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzShardPlanDecode -fuzztime=10s ./internal/fabric/
+	$(GO) test -run=^$$ -fuzz=FuzzFleetSpecDecode -fuzztime=10s ./internal/fleet/
 
 stress:
 	$(GO) test -race -run 'Chaos|SpawnMidRun' -v ./internal/kernel/
@@ -88,6 +90,13 @@ fabric-race:
 	$(GO) test -race -count=1 -v ./internal/fabric/
 	$(GO) test -race -count=1 -run 'Shard|Merge' -v .
 
+# The fleet population engine under the race detector: spec validation,
+# seeded generator determinism, the schedulability pre-pass, the
+# serial/parallel/fabric byte-identity proof, and the SIGKILL + resume
+# subprocess test.
+fleet-race:
+	$(GO) test -race -count=1 -v ./internal/fleet/
+
 # Worker-count ladder (1/2/4/NumCPU) over the full Table 2 grid, plus
 # fabric legs coordinating 1/2/4 in-process peers, recorded to
 # BENCH_sweep.json (also verifies every merge against the serial
@@ -102,5 +111,5 @@ bench-sweep:
 bench-guard:
 	$(GO) run ./cmd/benchsweep -guard -baseline BENCH_sweep.json
 
-check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race fabric-race bench-guard
+check: vet race fuzz-smoke stress sweep-race telemetry-race durability-race oracle-race service-race chaos-race fabric-race fleet-race bench-guard
 	@echo "check: all tiers passed"

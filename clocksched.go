@@ -41,18 +41,21 @@ import (
 type Workload string
 
 // The available workloads. RectWave is the idealized 9-busy/1-idle quantum
-// pattern of the paper's Section 5.3 analysis.
+// pattern of the paper's Section 5.3 analysis; Feedback is the closed-loop
+// control task of Xia et al.'s energy-aware feedback scheduling, whose
+// sampling period adapts to its own measured response time.
 const (
 	MPEG          Workload = "mpeg"
 	Web           Workload = "web"
 	Chess         Workload = "chess"
 	TalkingEditor Workload = "editor"
 	RectWave      Workload = "rect"
+	Feedback      Workload = "feedback"
 )
 
 // Workloads lists every available workload.
 func Workloads() []Workload {
-	return []Workload{MPEG, Web, Chess, TalkingEditor, RectWave}
+	return []Workload{MPEG, Web, Chess, TalkingEditor, RectWave, Feedback}
 }
 
 // SpeedSetter names a scaling amount policy: how far to move the clock once

@@ -184,7 +184,7 @@ func TestClockStepsMHz(t *testing.T) {
 
 func TestWorkloadsList(t *testing.T) {
 	ws := Workloads()
-	if len(ws) != 5 {
+	if len(ws) != 6 {
 		t.Fatalf("%d workloads", len(ws))
 	}
 	for _, w := range ws {

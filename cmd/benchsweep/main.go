@@ -32,6 +32,7 @@ import (
 
 	"clocksched"
 	"clocksched/internal/fabric"
+	"clocksched/internal/fleet"
 	"clocksched/internal/service"
 )
 
@@ -94,6 +95,73 @@ func fabricLeg(n int, serial *clocksched.SweepResult, serialTime time.Duration) 
 	return leg, nil
 }
 
+// fleetSpec is the population the fleet leg times: a fixed-seed 500-device
+// default mix under the best adaptive policy, the deadline scheduler, and a
+// pinned 59 MHz constant — the last guaranteeing the feasibility pre-pass
+// has real skips to price.
+func fleetSpec() (fleet.Spec, error) {
+	spec := fleet.NewSpec(500, 7)
+	spec.Duration = clocksched.Duration(2 * time.Second)
+	spec.ArrivalSpread = clocksched.Duration(500 * time.Millisecond)
+	for _, ref := range []struct {
+		name   string
+		params map[string]float64
+	}{
+		{"past-peg-peg", nil},
+		{"deadline", nil},
+		{"constant", map[string]float64{"mhz": 59, "low_voltage": 1}},
+	} {
+		p, err := clocksched.NewPolicy(ref.name, ref.params)
+		if err != nil {
+			return fleet.Spec{}, err
+		}
+		spec.Policies = append(spec.Policies, p)
+	}
+	return spec, nil
+}
+
+// fleetLeg compiles the fleet population once, times it through the fleet
+// engine serially and again at NumCPU workers, verifies the two population
+// summaries are byte-identical, and records devices/sec plus the
+// feasibility-skip rate of the pre-pass.
+func fleetLeg() (run, error) {
+	spec, err := fleetSpec()
+	if err != nil {
+		return run{}, err
+	}
+	plan, err := spec.Compile()
+	if err != nil {
+		return run{}, err
+	}
+	pairings := spec.Devices * len(spec.Policies)
+
+	start := time.Now()
+	serial, err := fleet.RunPlan(context.Background(), plan, fleet.RunConfig{Workers: 1})
+	legTime := time.Since(start)
+	if err != nil {
+		return run{}, err
+	}
+	par, err := fleet.RunPlan(context.Background(), plan, fleet.RunConfig{Workers: runtime.NumCPU()})
+	if err != nil {
+		return run{}, err
+	}
+
+	leg := run{
+		Workers:      1,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Seconds:      legTime.Seconds(),
+		Identical:    serial.Render() == par.Render(),
+		FleetDevices: spec.Devices,
+		SkipRate:     float64(len(plan.Skips)) / float64(pairings),
+	}
+	if legTime > 0 {
+		leg.CellsPerSec = float64(len(plan.Cells)) / legTime.Seconds()
+		leg.DevicesPerSec = float64(spec.Devices) / legTime.Seconds()
+	}
+	return leg, nil
+}
+
 // run is one timed leg of the ladder.
 type run struct {
 	Workers     int     `json:"workers"`
@@ -107,6 +175,14 @@ type run struct {
 	// across this many in-process sweepd peers through the fabric
 	// coordinator instead of the plain worker pool.
 	FabricPeers int `json:"fabric_peers,omitempty"`
+	// FleetDevices marks a fleet-population leg: this many seeded device
+	// sessions compiled and reduced through internal/fleet, with
+	// DevicesPerSec the population throughput and SkipRate the fraction
+	// of device×policy pairings the feasibility pre-pass removed before
+	// simulation.
+	FleetDevices  int     `json:"fleet_devices,omitempty"`
+	DevicesPerSec float64 `json:"devices_per_sec,omitempty"`
+	SkipRate      float64 `json:"skip_rate,omitempty"`
 	// Note flags legs whose Speedup must not be read as parallel scaling
 	// (multi-worker legs on a single-CPU host).
 	Note string `json:"note,omitempty"`
@@ -237,6 +313,8 @@ func main() {
 			"print per-cell completion counts; resumed runs start at the replayed count")
 		fabricLegs = flag.Bool("fabric", true,
 			"append distributed-fabric legs (grid sharded across 1/2/4 in-process sweepd peers) to the ladder")
+		fleetLegFlag = flag.Bool("fleet", true,
+			"append a fleet-population leg (500 seeded devices through internal/fleet) recording devices/sec and the feasibility-skip rate")
 		guardMode = flag.Bool("guard", false,
 			"regression-check serial throughput against -baseline instead of recording a ladder")
 		baseline  = flag.String("baseline", "BENCH_sweep.json", "committed report -guard compares against")
@@ -364,6 +442,18 @@ func main() {
 			fmt.Printf("%d cells, fabric of %d peer(s): %.3fs (%.1f cells/s, %.2fx), identical=%v\n",
 				r.Cells, peers, leg.Seconds, leg.CellsPerSec, leg.Speedup, leg.Identical)
 		}
+	}
+
+	if *fleetLegFlag {
+		leg, err := fleetLeg()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: fleet leg:", err)
+			os.Exit(1)
+		}
+		ok = ok && leg.Identical
+		r.Runs = append(r.Runs, leg)
+		fmt.Printf("fleet of %d devices: %.3fs (%.1f devices/s, %.1f cells/s, skip rate %.3f), identical=%v\n",
+			leg.FleetDevices, leg.Seconds, leg.DevicesPerSec, leg.CellsPerSec, leg.SkipRate, leg.Identical)
 	}
 
 	b, err := json.MarshalIndent(r, "", "  ")

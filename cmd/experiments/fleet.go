@@ -1,12 +1,12 @@
 package main
 
-// Fleet execution: -peers runs the Table 2 grid through the fabric
-// coordinator from this process — shards leased across the listed sweepd
-// daemons, stolen from stragglers near the tail, and executed locally when
-// the whole fleet is unreachable — then folds the merged result into the
-// same table the local and -remote paths render. The merge is
-// byte-identical to a local Sweep, so the fleet is purely a throughput
-// decision.
+// Fleet execution: -peers runs the Table 2 grid — or, with -only fleet,
+// the population-scale fleet experiment — through the fabric coordinator
+// from this process: shards leased across the listed sweepd daemons,
+// stolen from stragglers near the tail, and executed locally when the
+// whole fleet is unreachable. The merge is byte-identical to a local
+// Sweep, so the fleet is purely a throughput decision; 100k+ device
+// populations are the -only fleet -peers sweet spot.
 
 import (
 	"context"
@@ -20,6 +20,7 @@ import (
 	"clocksched"
 	"clocksched/internal/expt"
 	"clocksched/internal/fabric"
+	"clocksched/internal/fleet"
 )
 
 // splitPeers parses the comma-separated -peers list, dropping empties.
@@ -38,8 +39,11 @@ func splitPeers(s string) []string {
 // interrupted run resumes from its committed shards on the next
 // invocation.
 func runFleet(peerList, token, outDir, only string, seed uint64, progress bool) int {
+	if only == "fleet" {
+		return runFleetPopulation(peerList, token, outDir, seed, progress)
+	}
 	if only != "" && only != "table2" {
-		fmt.Fprintf(os.Stderr, "experiments: -peers runs the table2 grid; %q is local-only (drop -peers)\n", only)
+		fmt.Fprintf(os.Stderr, "experiments: -peers runs table2 or fleet; %q is local-only (drop -peers)\n", only)
 		return 2
 	}
 	peers := splitPeers(peerList)
@@ -90,6 +94,54 @@ func runFleet(peerList, token, outDir, only string, seed uint64, progress bool) 
 	fmt.Print(summary)
 
 	artifact := filepath.Join(outDir, "table2_fleet.txt")
+	if err := os.WriteFile(artifact, []byte(summary), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("\nartifact written to %s\n", artifact)
+	return 0
+}
+
+// runFleetPopulation coordinates the standing fleet experiment across the
+// peer list: the identical spec the local `-only fleet` path builds
+// (ExperimentSpec + ExperimentDevices), compiled to cells and fanned out
+// through the fabric, so the two summaries are byte-comparable.
+func runFleetPopulation(peerList, token, outDir string, seed uint64, progress bool) int {
+	peers := splitPeers(peerList)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec, err := fleet.ExperimentSpec(seed, fleet.ExperimentDevices())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: fleet:", err)
+		return 1
+	}
+	rc := fleet.RunConfig{
+		Peers:     peers,
+		PeerToken: token,
+		FabricDir: filepath.Join(outDir, "fabric"),
+	}
+	if progress {
+		rc.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "experiments: cell %d/%d\n", done, total)
+		}
+	}
+	fmt.Printf("==> fleet (fleet of %d peer(s)) — %d devices\n", len(peers), spec.Devices)
+	pop, err := fleet.Run(ctx, spec, rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: fleet run:", err)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; committed shards are ledgered — run again to resume")
+		}
+		return 1
+	}
+	summary := pop.Render()
+	fmt.Print(summary)
+	artifact := filepath.Join(outDir, "fleet_fleet.txt")
 	if err := os.WriteFile(artifact, []byte(summary), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1

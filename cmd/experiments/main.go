@@ -15,6 +15,14 @@
 //	experiments -out /tmp/repro -seed 3 -workers 4
 //	experiments -nocache   # recompute every cell
 //	experiments -peers http://node1:8900,http://node2:8900   # fleet-coordinated table2
+//	experiments -only fleet                                  # 10k-device population sweep
+//	experiments -only fleet -peers http://node1:8900,http://node2:8900
+//
+// The fleet experiment simulates a seeded population of device sessions
+// (CLOCKSCHED_FLEET_DEVICES overrides the 10k default) and reduces them to
+// per-policy energy percentiles, miss rates, and the infeasible bucket;
+// with -peers the identical population is compiled once and fanned out
+// across the daemons, byte-identical to the local run.
 package main
 
 import (
@@ -151,6 +159,10 @@ func run(outDir, only *string, seed *uint64, workers *int, nocache, resume *bool
 			fmt.Fprintf(os.Stderr, "experiments: resume: %d cell(s) recovered from journal\n", jr.Recovered())
 		}
 		env.Journal = jr
+		// Experiments that own their durable state (the fleet experiment's
+		// result cache + fleet.wal) anchor it in the same output directory.
+		env.DataDir = *outDir
+		env.Resume = *resume
 	} else if *resume {
 		fmt.Fprintln(os.Stderr, "experiments: -resume needs the cell cache (drop -nocache)")
 		return 2

@@ -20,6 +20,12 @@
 // work-stealing, and local fallback when every peer is down — see
 // DESIGN.md §15), while the API surface stays identical.
 //
+// Fleet-population jobs need no special handling here: internal/fleet
+// compiles a device population into an ordinary SweepSpec, so its cells
+// pass through admission, sharding, caching, and resume exactly like any
+// other job (`experiments -only fleet -peers ...` targets daemons like
+// this one; see DESIGN.md §16).
+//
 // Submit work with curl (see the README quickstart) or programmatically
 // via the service client used by `experiments -remote`. SIGTERM drains:
 // admission stops, running jobs finish (up to -drain-timeout, then they

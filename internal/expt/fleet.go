@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The fleet experiment lives in internal/fleet, which imports the root
+// clocksched package for the policy registry and sweep engine — layers
+// above this one. Like the policy zoo's SetPolicyZoo, the experiment body
+// is therefore injected at init time: importing internal/fleet (as
+// cmd/experiments does) registers it; a build that never links the fleet
+// package gets a structured "not injected" error instead of a missing
+// registry entry.
+
+var fleetInjected struct {
+	sync.Mutex
+	run func(Env) (string, []Artifact, error)
+}
+
+// SetFleetExperiment installs the fleet experiment body. internal/fleet
+// calls this from init; later calls replace the hook.
+func SetFleetExperiment(run func(Env) (string, []Artifact, error)) {
+	fleetInjected.Lock()
+	defer fleetInjected.Unlock()
+	fleetInjected.run = run
+}
+
+func runFleet(env Env) (string, []Artifact, error) {
+	fleetInjected.Lock()
+	run := fleetInjected.run
+	fleetInjected.Unlock()
+	if run == nil {
+		return "", nil, fmt.Errorf("expt: fleet experiment not injected; import clocksched/internal/fleet")
+	}
+	return run(env)
+}

@@ -44,6 +44,16 @@ type Env struct {
 	// (see sweep.Options.OnProgress). A resumed run's counts start at the
 	// journal-replayed cell count.
 	Progress func(done, total int)
+	// DataDir, when non-empty, is a durable scratch directory for
+	// experiments that keep their own cell caches and journals. Cache and
+	// Journal above carry grid-cell payloads, so experiments sweeping the
+	// public clocksched.Sweep path (the fleet experiment) cannot share
+	// them; they open result-typed state under DataDir instead.
+	DataDir string
+	// Resume tells DataDir-owning experiments to replay the journal left
+	// by an interrupted run instead of truncating it, mirroring the
+	// Journal field's semantics for grid experiments.
+	Resume bool
 }
 
 // DefaultEnv is the serial environment the pre-batch API ran under: one

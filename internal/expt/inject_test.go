@@ -1,0 +1,9 @@
+package expt_test
+
+// The fleet experiment body is injected at init by internal/fleet (it
+// lives above this package in the import graph). Linking it into the test
+// binary mirrors what cmd/experiments does, so the in-package registry
+// test exercises the real experiment rather than the "not injected" stub.
+import (
+	_ "clocksched/internal/fleet"
+)

@@ -52,6 +52,7 @@ func Registry() []Experiment {
 		{"dvs", "§2.1 projection: policies on an ideal DVS core", runDVS},
 		{"weiser", "§3: Weiser trace-driven OPT/FUTURE/PAST scoring", runWeiser},
 		{"zoo", "optimality gap: every registered policy vs the offline oracle", runZoo},
+		{"fleet", "population-scale sweep: the policy zoo across a simulated device fleet", runFleet},
 	}
 }
 

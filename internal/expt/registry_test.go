@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 23 {
+	if len(reg) != 24 {
 		t.Fatalf("%d experiments registered", len(reg))
 	}
 	seen := map[string]bool{}
@@ -47,6 +47,9 @@ func TestRegistryRunsEverything(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full reproduction")
 	}
+	// The fleet experiment defaults to a 10k-device population; a few
+	// hundred devices exercise the same code end to end in test time.
+	t.Setenv("CLOCKSCHED_FLEET_DEVICES", "120")
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {

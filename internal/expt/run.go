@@ -25,7 +25,8 @@ import (
 // RunSpec describes one simulated measurement run: a workload on the Itsy
 // under a clock scaling policy, instrumented by the DAQ.
 type RunSpec struct {
-	// Workload is one of "mpeg", "web", "chess", "editor", or "rect".
+	// Workload is one of "mpeg", "web", "chess", "editor", "rect", or
+	// "feedback".
 	Workload string
 	// Seed drives workload jitter; distinct seeds stand in for the
 	// paper's repeated measurement runs.
@@ -133,6 +134,20 @@ func buildWorkload(spec RunSpec) (workload.Workload, error) {
 			length = 60 * sim.Second
 		}
 		return workload.NewRectWave(9, 1, length)
+	case "feedback":
+		cfg := workload.DefaultFeedbackConfig()
+		if spec.Seed != 0 {
+			cfg.Seed = spec.Seed
+		}
+		if spec.Duration != 0 {
+			cfg.Length = spec.Duration
+		}
+		// Like MPEG, the control loop cooperates with a deadline-consuming
+		// policy by advertising each sample's work and due time.
+		if ds, ok := spec.Policy.(workload.DeadlineSink); ok {
+			cfg.Deadlines = ds
+		}
+		return workload.NewFeedback(cfg)
 	default:
 		return nil, fmt.Errorf("expt: unknown workload %q", spec.Workload)
 	}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"clocksched"
+	"clocksched/internal/cpu"
+	"clocksched/internal/workload"
+)
+
+// DefaultMaxUtil is the schedulability bar: a pairing whose estimated
+// utilization exceeds 90% of a clock step is treated as unschedulable at
+// that step. The 10% margin absorbs the quantum-granularity rounding and
+// burst jitter the closed-form estimate cannot see.
+const DefaultMaxUtil = 0.9
+
+// Feasible reports whether the workload's estimated demand fits within
+// the given clock step under the default bar. Classes without a demand
+// model are conservatively feasible — the pre-pass only skips work whose
+// saturation it can actually predict; it never silently drops a pairing
+// it does not understand.
+func Feasible(w clocksched.Workload, step cpu.Step) bool {
+	return feasibleAt(w, step, DefaultMaxUtil)
+}
+
+func feasibleAt(w clocksched.Workload, step cpu.Step, bar float64) bool {
+	d, ok := workload.EstimateDemand(string(w))
+	if !ok {
+		return true
+	}
+	return d.Util(step) <= bar
+}
+
+// policyUtil estimates the utilization the workload would present at the
+// best clock step the policy can reach: a constant policy is pinned to
+// its configured frequency, while every adaptive policy can climb to the
+// top step when demand calls for it.
+func policyUtil(w clocksched.Workload, p clocksched.Policy) float64 {
+	d, ok := workload.EstimateDemand(string(w))
+	if !ok {
+		return 0
+	}
+	step := cpu.MaxStep
+	if p.Constant {
+		step = cpu.NearestStep(int64(p.MHz * 1000))
+	}
+	return d.Util(step)
+}
+
+// MinFeasibleMHz is the slowest clock step that clears the bar for the
+// workload, in MHz — the number a skip record reports so an operator can
+// see how far out of reach the pairing was. Zero means not even the top
+// step fits.
+func MinFeasibleMHz(w clocksched.Workload, bar float64) float64 {
+	d, ok := workload.EstimateDemand(string(w))
+	if !ok {
+		return cpu.MinStep.MHz()
+	}
+	for s := cpu.MinStep; s <= cpu.MaxStep; s++ {
+		if d.Util(s) <= bar {
+			return s.MHz()
+		}
+	}
+	return 0
+}

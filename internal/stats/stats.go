@@ -94,6 +94,64 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
 }
 
+// Quantile returns the p-th percentile (0 ≤ p ≤ 100) of xs under the
+// nearest-rank definition: the smallest sample x such that at least p% of
+// the samples are ≤ x. Unlike Percentile it never interpolates, so the
+// result is always an actual sample and the computation is exactly
+// reproducible across platforms — no float blending whose rounding could
+// split a byte-identity guarantee. The fleet reducer's population tables
+// are built on it for exactly that reason.
+//
+// Boundary conventions: p = 0 returns the minimum, p = 100 the maximum,
+// and a single-sample set returns that sample for every p. The input is
+// not modified.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// Nearest rank: ceil(p/100 · n), clamped to [1, n] so p = 0 still
+	// indexes the first sample.
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1], nil
+}
+
+// Quantiles computes several nearest-rank quantiles over one sort of xs.
+// The result is ordered like ps. Use it when reducing the same sample set
+// to p50/p95/p99 in one pass.
+func Quantiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if math.IsNaN(p) || p < 0 || p > 100 {
+			return nil, fmt.Errorf("stats: quantile %v out of [0,100]", p)
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out, nil
+}
+
 // tTable holds two-sided 95% Student-t critical values indexed by degrees of
 // freedom 1..30. Beyond 30 degrees the normal approximation 1.96 is used.
 var tTable = [31]float64{

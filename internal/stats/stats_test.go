@@ -78,6 +78,83 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	if _, err := Quantile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("Quantile(nil) did not return ErrEmpty")
+	}
+	if _, err := Quantile([]float64{}, 95); !errors.Is(err, ErrEmpty) {
+		t.Error("Quantile(empty) did not return ErrEmpty")
+	}
+	// Single sample: every p, including the extremes, returns that sample.
+	for _, p := range []float64{0, 1, 50, 95, 99, 100} {
+		got, err := Quantile([]float64{42}, p)
+		if err != nil || got != 42 {
+			t.Errorf("Quantile(single, %v) = %v, %v, want 42", p, got, err)
+		}
+	}
+	// Nearest rank never interpolates: p50 of {1..4} is the 2nd sample, not 2.5.
+	xs := []float64{4, 1, 3, 2}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {25, 1}, {50, 2}, {75, 3}, {95, 4}, {99, 4}, {100, 4},
+	} {
+		got, err := Quantile(xs, c.p)
+		if err != nil || got != c.want {
+			t.Errorf("Quantile(%v, %v) = %v, %v, want %v", xs, c.p, got, err, c.want)
+		}
+	}
+	// 100 samples 1..100: p95 = 95th sample, p99 = 99th.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(100 - i)
+	}
+	for _, c := range []struct{ p, want float64 }{{50, 50}, {95, 95}, {99, 99}} {
+		got, _ := Quantile(big, c.p)
+		if got != c.want {
+			t.Errorf("Quantile(1..100, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Out-of-range and NaN probabilities are rejected.
+	for _, p := range []float64{-1, 100.5, math.NaN()} {
+		if _, err := Quantile(xs, p); err == nil {
+			t.Errorf("Quantile(p=%v) did not error", p)
+		}
+	}
+	// Input must not be mutated.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Quantile mutated its input slice")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	if _, err := Quantiles(nil, 50, 95, 99); !errors.Is(err, ErrEmpty) {
+		t.Error("Quantiles(nil) did not return ErrEmpty")
+	}
+	xs := []float64{5, 2, 9, 1, 7}
+	got, err := Quantiles(xs, 50, 95, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 9, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Batch and single forms agree for every p.
+	for _, p := range []float64{0, 10, 33, 50, 66, 90, 95, 99, 100} {
+		single, _ := Quantile(xs, p)
+		batch, _ := Quantiles(xs, p)
+		if single != batch[0] {
+			t.Errorf("Quantile(%v)=%v disagrees with Quantiles=%v", p, single, batch[0])
+		}
+	}
+	if _, err := Quantiles(xs, 50, math.NaN()); err == nil {
+		t.Error("Quantiles with NaN p did not error")
+	}
+}
+
 func TestTCritical95(t *testing.T) {
 	if got := TCritical95(1); got != 12.706 {
 		t.Errorf("t(df=1) = %v", got)

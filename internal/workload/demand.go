@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"clocksched/internal/cpu"
+	"clocksched/internal/sim"
+)
+
+// Demand is a steady-state estimate of one workload class's processor
+// requirement, in the spirit of the Nokia schedulability-estimation work:
+// a cheap analytical "can workload W meet its deadlines at frequency f?"
+// answered without running the simulation. It separates work that scales
+// with the clock (cycle bursts, whose wall time stretches as the step
+// drops and whose memory-stall component follows Table 3) from work pinned
+// to the wall clock (ComputeFor planning/search, which occupies the same
+// real time at any frequency).
+type Demand struct {
+	// PerSecond is the cycle-denominated work issued per second of
+	// session time, at full-speed scale like every cpu.Burst.
+	PerSecond cpu.Burst
+	// WallFraction is the fraction of each second consumed by
+	// frequency-invariant (wall-clock) computation.
+	WallFraction float64
+}
+
+// Util estimates the utilization Demand imposes at clock step s: the
+// wall-pinned fraction plus the stretched duration of the per-second
+// cycle work. Values above 1 mean the class cannot keep up at s.
+func (d Demand) Util(s cpu.Step) float64 {
+	return d.WallFraction + float64(d.PerSecond.Duration(s))/float64(sim.Second)
+}
+
+// EstimateDemand returns the demand estimate for a workload class by its
+// wire name ("mpeg", "web", "chess", "editor", "rect", "feedback"), or
+// ok=false for an unknown class. The figures are derived from the same
+// default configurations the experiment layer instantiates, so the
+// estimate tracks the generators:
+//
+//   - mpeg: sustained frame decode (GOP-averaged) plus the audio stream.
+//     Lands at ≈0.70 utilization at 206.4 MHz and ≈0.87 at 132.7 MHz,
+//     crossing 0.9 below that — the paper's "plays cleanly at 132.7 MHz
+//     but not below" boundary.
+//   - editor: the sustained requirement is speech synthesis holding
+//     real-time rate during playback (UI bursts and the sound driver are
+//     transient or small); infeasible below 132.7 MHz, where the paper
+//     reports "noticeable delays".
+//   - chess: mostly wall-pinned Crafty search (feasible at any step, by
+//     construction) plus board repaints and the Kaffe polling loop.
+//   - web: scroll-phase rendering plus the polling loop; light enough
+//     for every step.
+//   - feedback: the closed loop evaluated at its maximum (most-shed)
+//     period — the loop trades rate for feasibility, so its demand floor
+//     is what schedulability must clear.
+//   - rect: the 9-busy/1-idle wall-clock wave of Section 5.3.
+func EstimateDemand(class string) (Demand, bool) {
+	switch class {
+	case "mpeg":
+		cfg := DefaultMPEGConfig()
+		avg := (cfg.IFrameFactor + float64(cfg.GOPLength-1)*cfg.PFrameFactor) / float64(cfg.GOPLength)
+		video := cfg.FrameBurst.Scale(avg * float64(cfg.FPS))
+		audio := audioBurst.Scale(float64(sim.Second / audioChunk))
+		return Demand{PerSecond: video.Add(audio)}, true
+	case "web":
+		// Scroll phase: one screenful repaint every ~3.5 s on average.
+		scroll := webScrollBurst.Scale(1.0 / 3.5)
+		return Demand{PerSecond: scroll.Add(pollPerSecond())}, true
+	case "chess":
+		// Crafty plans ≈2.75 s wall time per ≈10 s move cycle, plus two
+		// board repaints per cycle.
+		boards := chessBoardBurst.Scale(2.0 / 10.0)
+		return Demand{PerSecond: boards.Add(pollPerSecond()), WallFraction: 0.275}, true
+	case "editor":
+		// Real-time speech synthesis: one chunk per speechChunk of
+		// playback must finish before the pipeline drains.
+		synth := synthChunkBurst.Scale(float64(sim.Second) / float64(speechChunk))
+		return Demand{PerSecond: synth}, true
+	case "feedback":
+		cfg := DefaultFeedbackConfig()
+		rate := float64(sim.Second) / float64(cfg.MaxPeriod)
+		return Demand{PerSecond: cfg.Burst.Scale(rate)}, true
+	case "rect":
+		// The paper's example wave: 9 busy quanta, 1 idle.
+		return Demand{WallFraction: 0.9}, true
+	}
+	return Demand{}, false
+}
+
+// pollPerSecond is the Kaffe 30 ms polling loop's per-second cycle cost,
+// carried by every Java workload.
+func pollPerSecond() cpu.Burst {
+	return javaPollBurst.Scale(float64(sim.Second) / float64(JavaPollPeriod))
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+
+	"clocksched/internal/cpu"
+)
+
+func TestEstimateDemandKnownClasses(t *testing.T) {
+	for _, class := range []string{"mpeg", "web", "chess", "editor", "rect", "feedback"} {
+		d, ok := EstimateDemand(class)
+		if !ok {
+			t.Errorf("%s: no demand estimate", class)
+			continue
+		}
+		if d.PerSecond.Zero() && d.WallFraction == 0 {
+			t.Errorf("%s: zero demand", class)
+		}
+		// Utilization is not monotone step-to-step (the Table 3 memory-cost
+		// jump between 162.2 and 176.9 MHz produces the Figure 9 plateau),
+		// but the full ladder must still help: cycle work is strictly
+		// cheaper at the top step than the bottom one.
+		if !d.PerSecond.Zero() && d.Util(cpu.MaxStep) >= d.Util(cpu.MinStep) {
+			t.Errorf("%s: util %v at max step not below %v at min step",
+				class, d.Util(cpu.MaxStep), d.Util(cpu.MinStep))
+		}
+	}
+	if _, ok := EstimateDemand("bogus"); ok {
+		t.Error("unknown class produced an estimate")
+	}
+}
+
+// The calibration boundaries the generators were built around: MPEG and the
+// editor clear a 0.9 utilization bar at 132.7 MHz (step 5) but not below,
+// matching the paper's reported playback boundaries, while the light and
+// self-shedding classes clear it everywhere.
+func TestEstimateDemandCalibration(t *testing.T) {
+	const bar = 0.9
+	step132 := cpu.StepForKHz(132_700)
+	for _, class := range []string{"mpeg", "editor"} {
+		d, _ := EstimateDemand(class)
+		if u := d.Util(step132); u > bar {
+			t.Errorf("%s: util %v at 132.7MHz exceeds %v", class, u, bar)
+		}
+		if u := d.Util(step132 - 1); u <= bar {
+			t.Errorf("%s: util %v at 118MHz within %v — boundary lost", class, u, bar)
+		}
+	}
+	for _, class := range []string{"web", "chess", "feedback"} {
+		d, _ := EstimateDemand(class)
+		if u := d.Util(cpu.MinStep); u > bar {
+			t.Errorf("%s: util %v at 59MHz exceeds %v", class, u, bar)
+		}
+	}
+}

@@ -55,12 +55,93 @@ func TestEditorIgnoresUnknownEvents(t *testing.T) {
 	}
 }
 
+func TestFeedbackIgnoresUnknownEvents(t *testing.T) {
+	cfg := DefaultFeedbackConfig()
+	cfg.Length = sim.Second
+	cfg.Disturbances = &trace.Trace{Name: "odd", Events: []trace.Event{
+		{At: 100 * sim.Millisecond, Kind: "meltdown", Arg: 1},
+		{At: 300 * sim.Millisecond, Kind: "spike", Arg: 10},
+	}}
+	f, err := NewFeedback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAt(t, f, cpu.MaxStep, 2*sim.Second)
+	// Exactly one spike deadline among the loop's own records; the unknown
+	// event must contribute nothing.
+	spikes := 0
+	for _, d := range f.Metrics().Deadlines() {
+		if len(d.Name) >= 5 && d.Name[:5] == "spike" {
+			spikes++
+		}
+	}
+	if spikes != 1 {
+		t.Errorf("recorded %d spike deadlines, want 1", spikes)
+	}
+}
+
+func TestFeedbackRejectsInvalidParams(t *testing.T) {
+	bad := []func(*FeedbackConfig){
+		func(c *FeedbackConfig) { c.Period = 0 },
+		func(c *FeedbackConfig) { c.Period = -sim.Millisecond },
+		func(c *FeedbackConfig) { c.MinPeriod = 0 },
+		func(c *FeedbackConfig) { c.MaxPeriod = c.MinPeriod - 1 },
+		func(c *FeedbackConfig) { c.Period = c.MaxPeriod + sim.Millisecond },
+		func(c *FeedbackConfig) { c.Period = c.MinPeriod - 1 },
+		func(c *FeedbackConfig) { c.Burst = cpu.Burst{} },
+		func(c *FeedbackConfig) { c.Jitter = -0.1 },
+		func(c *FeedbackConfig) { c.Jitter = 1 },
+		func(c *FeedbackConfig) { c.Length = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultFeedbackConfig()
+		mutate(&cfg)
+		if _, err := NewFeedback(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	// Invalid disturbance traces are rejected like the other workloads'.
+	cfg := DefaultFeedbackConfig()
+	cfg.Disturbances = &trace.Trace{Name: "", Events: nil}
+	if _, err := NewFeedback(cfg); err == nil {
+		t.Error("feedback accepted invalid trace")
+	}
+}
+
+func TestFeedbackShedsRateWhenSlow(t *testing.T) {
+	mk := func(step cpu.Step) *Feedback {
+		cfg := DefaultFeedbackConfig()
+		cfg.Length = 10 * sim.Second
+		f, err := NewFeedback(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAt(t, f, step, 0)
+		return f
+	}
+	fast := mk(cpu.MaxStep)
+	slow := mk(cpu.MinStep)
+	if fast.FinalPeriod() > DefaultFeedbackConfig().Period {
+		t.Errorf("full-speed loop stretched its period to %v", fast.FinalPeriod())
+	}
+	if slow.FinalPeriod() <= fast.FinalPeriod() {
+		t.Errorf("slow loop period %v not longer than fast %v — no self-shedding",
+			slow.FinalPeriod(), fast.FinalPeriod())
+	}
+	// The closed loop trades rate for feasibility: fewer samples at 59 MHz.
+	if slow.Metrics().Count() >= fast.Metrics().Count() {
+		t.Errorf("slow loop recorded %d deadlines, fast %d — expected fewer when shed",
+			slow.Metrics().Count(), fast.Metrics().Count())
+	}
+}
+
 func TestWorkloadsRejectDoubleInstall(t *testing.T) {
 	builders := []func() Workload{
 		func() Workload { w, _ := NewWeb(nil); return w },
 		func() Workload { c, _ := NewChess(nil); return c },
 		func() Workload { e, _ := NewTalkingEditor(nil); return e },
 		func() Workload { r, _ := NewRectWave(9, 1, sim.Second); return r },
+		func() Workload { f, _ := NewFeedback(DefaultFeedbackConfig()); return f },
 	}
 	for _, mk := range builders {
 		w := mk()
